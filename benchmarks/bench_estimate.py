@@ -1,0 +1,127 @@
+"""Capstone: plan-aware subscriber estimation vs naive /64 counting (§7.1).
+
+The paper's conclusion — usage estimation must be informed by addressing
+practice per network — implemented and scored.  For each flagship
+network the bench compares, against ground-truth weekly subscribers:
+
+* the naive estimate (weekly active /64 count), and
+* the plan-aware estimate (stable prefixes at the automatically
+  discovered plan boundary, with the §7.2 method choosing the unit).
+
+The plan-aware estimator must beat the naive one on the networks where
+the naive count is pathological (pools, shared /64s) without hurting the
+well-behaved ones.
+"""
+
+import pytest
+
+from repro.core.changes import detect_renumbering
+from repro.core.estimate import estimate_subscribers, estimation_error
+from repro.sim import EPOCH_2015_03
+from repro.sim.scenarios import single_network_store
+
+from conftest import BENCH_SEED
+
+DAYS = list(range(EPOCH_2015_03, EPOCH_2015_03 + 14))
+
+NETWORKS = ("jp-isp", "us-mobile-1", "eu-univ-dept", "eu-isp")
+
+
+def _truth_weekly_subscribers(network, days):
+    subscribers = set()
+    for day in days:
+        subscribers.update(network.population.active_subscribers(day))
+    return len(subscribers)
+
+
+def _estimates(internet):
+    results = {}
+    for name in NETWORKS:
+        network = next(n for n in internet.networks if n.name == name)
+        store = single_network_store(network, DAYS, seed=BENCH_SEED)
+        estimate = estimate_subscribers(store, DAYS)
+        truth = _truth_weekly_subscribers(network, DAYS)
+        results[name] = (estimate, truth)
+    return results
+
+
+@pytest.mark.benchmark(group="estimate")
+def test_plan_aware_estimation_beats_naive(benchmark, internet, report):
+    results = benchmark.pedantic(_estimates, args=(internet,), rounds=1, iterations=1)
+
+    report.section("§7.1 capstone: subscriber estimation, naive vs plan-aware")
+    report.add(
+        f"{'network':<14} {'truth':>6} {'naive/64s':>10} {'plan-aware':>11} "
+        f"{'method':<18} {'naive err':>9} {'aware err':>9}"
+    )
+    improvements = 0
+    comparisons = 0
+    for name, (estimate, truth) in results.items():
+        naive_error = estimation_error(estimate.naive_64s, truth)
+        aware_error = estimation_error(estimate.estimate, truth)
+        report.add(
+            f"{name:<14} {truth:>6} {estimate.naive_64s:>10} "
+            f"{estimate.estimate:>11} {estimate.method:<18} "
+            f"{naive_error:>8.1f}x {aware_error:>8.1f}x"
+        )
+        comparisons += 1
+        if aware_error <= naive_error + 1e-9:
+            improvements += 1
+    report.add(
+        f"plan-aware at least as accurate on {improvements}/{comparisons} networks"
+    )
+
+    # The pathological cases must improve decisively.
+    mobile_estimate, mobile_truth = results["us-mobile-1"]
+    assert estimation_error(mobile_estimate.estimate, mobile_truth) < (
+        estimation_error(mobile_estimate.naive_64s, mobile_truth)
+    )
+    department_estimate, department_truth = results["eu-univ-dept"]
+    assert estimation_error(department_estimate.estimate, department_truth) < 0.5
+    assert estimation_error(
+        department_estimate.naive_64s, department_truth
+    ) > 5  # the naive count is off by an order of magnitude
+
+    # The well-behaved network must stay accurate.
+    jp_estimate, jp_truth = results["jp-isp"]
+    assert estimation_error(jp_estimate.estimate, jp_truth) < 0.5
+
+    # Overall: plan-aware wins or ties on most networks.
+    assert improvements >= comparisons - 1
+
+
+@pytest.mark.benchmark(group="estimate")
+def test_change_detection_on_simulated_renumbering(benchmark, internet, report):
+    """Application: a renumbering event in otherwise steady logs."""
+    from repro.data.store import ObservationStore
+
+    network = next(n for n in internet.networks if n.name == "jp-isp")
+    store = single_network_store(network, DAYS, seed=BENCH_SEED)
+
+    # Inject the event: from day 8 on, shift every network id into a
+    # fresh prefix (the operator migrated).
+    from repro.data.store import from_array
+
+    shifted = ObservationStore()
+    offset = 0xDEAD << 80
+    for observations in store.iter_days():
+        values = from_array(observations.addresses)
+        if observations.day >= DAYS[8]:
+            values = [value + offset for value in values]
+        shifted.add_day(observations.day, values)
+
+    def run():
+        return detect_renumbering(shifted, DAYS)
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.section("Application: renumbering detection (event injected at day 8)")
+    for event in events:
+        report.add(
+            f"change at day {event.day}: retention {event.retention:.2f} "
+            f"vs baseline {event.baseline:.2f}"
+        )
+    assert len(events) == 1
+    assert events[0].day == DAYS[8]
+
+    # Control: the unmodified logs carry no event.
+    assert detect_renumbering(store, DAYS) == []

@@ -1,0 +1,88 @@
+"""Figure 4: the stability time series around the March 2015 epoch.
+
+For reference days matching the paper's March 17 and March 23, plots the
+active count per day and the count in common with the reference day, for
+full addresses (panel a) and /64 prefixes (panel b).  Shapes under test:
+
+* the common-with-reference series drops sharply at one day's distance
+  (privacy-address turnover; paper: 320M -> ~75M) and then decays in a
+  stepwise tail for addresses;
+* for /64s the common series stays close to the active series across
+  the whole window (most /64s persist; paper's Figure 4b);
+* the reference day's common count equals its active count.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table, si_count
+from repro.core.temporal import window_series
+from repro.sim import EPOCH_2015_03
+from repro.viz.ascii import AsciiChart
+
+REFERENCE_DAYS = (EPOCH_2015_03, EPOCH_2015_03 + 6)  # Mar 17 and Mar 23
+
+
+def _series(store):
+    return {
+        reference: window_series(store, reference)
+        for reference in REFERENCE_DAYS
+    }
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("granularity", ["addresses", "prefixes64"])
+def test_fig4_stability_series(benchmark, epoch_stores, report, granularity):
+    store = epoch_stores[EPOCH_2015_03]
+    if granularity == "prefixes64":
+        store = store.truncated(64)
+    results = benchmark.pedantic(_series, args=(store,), rounds=1, iterations=1)
+
+    panel = "4a (addresses)" if granularity == "addresses" else "4b (/64 prefixes)"
+    report.section(f"Figure {panel}: activity vs reference days")
+    chart = AsciiChart(
+        title=f"Figure {panel}", width=66, height=14, log_y=False
+    )
+    first = results[REFERENCE_DAYS[0]]
+    chart.add_series("active per day", list(zip(first.days, first.active_counts)))
+    for reference, series in results.items():
+        chart.add_series(
+            f"common w/ day {reference}", list(zip(series.days, series.common_counts))
+        )
+    report.add(chart.render())
+
+    rows = []
+    for day, active, common in first.rows():
+        rows.append([str(day), si_count(active), si_count(common)])
+    report.add(
+        render_table(
+            ["day", "active", f"common w/ {REFERENCE_DAYS[0]}"],
+            rows,
+        )
+    )
+
+    for reference, series in results.items():
+        index = series.days.index(reference)
+        active_at_ref = series.active_counts[index]
+        # Self-intersection is total.
+        assert series.common_counts[index] == active_at_ref
+        neighbors = [
+            series.common_counts[i]
+            for i in (index - 1, index + 1)
+            if 0 <= i < len(series.days)
+        ]
+        for neighbor_common in neighbors:
+            share = neighbor_common / max(1, active_at_ref)
+            if granularity == "addresses":
+                # Sharp one-day drop (paper: ~23% in common next day).
+                assert 0.02 < share < 0.7
+            else:
+                # /64s persist (paper: the curves nearly overlap).
+                assert share > 0.5
+        # Decay: the common count at distance 5+ is below distance 1.
+        far = [
+            series.common_counts[i]
+            for i, day in enumerate(series.days)
+            if abs(day - reference) >= 5 and series.active_counts[i] > 0
+        ]
+        if far and granularity == "addresses":
+            assert max(far) <= max(neighbors)

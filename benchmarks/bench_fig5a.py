@@ -1,0 +1,95 @@
+"""Figure 5a: CCDFs of per-ASN counts for one week.
+
+Four series across all active ASNs: active addresses, active /64s,
+active EUI-64 addresses, and 6-month-stable /64s.  Shapes under test:
+
+* all series are heavy-tailed — a handful of ASNs hold most of the
+  counts (the paper: one ASN with 500M addresses; top-5 ASNs with 85% of
+  /64s and 59% of addresses);
+* the address curve extends further right than the /64 curve, which
+  extends beyond the EUI-64 curve;
+* most 6m-stable /64s concentrate in few ASNs (paper: one ASN accounts
+  for over 100M, "most long-lived /64s are in only a few networks").
+"""
+
+import pytest
+
+from repro.core.format import is_eui64_address
+from repro.core.temporal import cross_epoch_stable
+from repro.data import store as obstore
+from repro.sim import EPOCH_2014_09, EPOCH_2015_03
+from repro.viz.ccdf import CcdfPlot, per_asn_counts
+
+
+def _per_asn_series(internet, epoch_stores):
+    store = epoch_stores[EPOCH_2015_03]
+    week = range(EPOCH_2015_03, EPOCH_2015_03 + 7)
+    addresses = obstore.from_array(store.union_over(week))
+    native = [
+        value for value in addresses if internet.registry.origin(value) is not None
+    ]
+
+    groups = internet.registry.group_by_asn(native)
+    p64_store = store.truncated(64)
+    p64s = obstore.from_array(p64_store.union_over(week))
+    p64_groups = internet.registry.group_by_asn([v for v in p64s])
+
+    eui = [value for value in native if is_eui64_address(value)]
+    eui_groups = internet.registry.group_by_asn(eui)
+
+    earlier_week = range(EPOCH_2014_09, EPOCH_2014_09 + 7)
+    earlier64 = epoch_stores[EPOCH_2014_09].truncated(64).union_over(earlier_week)
+    stable64 = obstore.from_array(
+        cross_epoch_stable(p64_store.union_over(week), earlier64)
+    )
+    stable_groups = internet.registry.group_by_asn(stable64)
+    return groups, p64_groups, eui_groups, stable_groups
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_fig5a_per_asn_ccdfs(benchmark, internet, epoch_stores, report):
+    groups, p64_groups, eui_groups, stable_groups = benchmark.pedantic(
+        _per_asn_series, args=(internet, epoch_stores), rounds=1, iterations=1
+    )
+
+    plot = CcdfPlot(title="Figure 5a: per-ASN count CCDFs (one week)")
+    plot.add("active addresses per ASN", per_asn_counts(groups))
+    plot.add("active /64s per ASN", per_asn_counts(p64_groups))
+    plot.add("active EUI-64 addresses per ASN", per_asn_counts(eui_groups))
+    plot.add("active 6-month-stable /64s per ASN", per_asn_counts(stable_groups))
+    report.section("Figure 5a: distribution of per-ASN counts")
+    report.add(plot.render_ascii())
+
+    address_counts = sorted(per_asn_counts(groups), reverse=True)
+    p64_counts = sorted(per_asn_counts(p64_groups), reverse=True)
+    stable_counts = sorted(per_asn_counts(stable_groups), reverse=True)
+
+    total_addresses = sum(address_counts)
+    top5_addresses = sum(address_counts[:5]) / total_addresses
+    top5_64s = sum(p64_counts[:5]) / sum(p64_counts)
+    report.add("")
+    report.add(
+        f"ASNs active: {len(address_counts)}; top-5 share of addresses: "
+        f"{top5_addresses:.1%} (paper: 59%), of /64s: {top5_64s:.1%} (paper: 85%)"
+    )
+
+    # Heavy-tailed: the top 5 of ~70 ASNs dominate.
+    assert top5_addresses > 0.4
+    assert top5_64s > 0.4
+    # The largest ASN is at least 10x the median ASN.
+    import statistics
+
+    assert address_counts[0] > 10 * statistics.median(address_counts)
+
+    # Curve extents: addresses > /64s >= EUI-64.
+    assert max(address_counts) >= max(p64_counts)
+    assert max(p64_counts) >= max(per_asn_counts(eui_groups))
+
+    # Long-lived /64s concentrate: the top ASN holds a large share.
+    if stable_counts:
+        top_share = stable_counts[0] / sum(stable_counts)
+        report.add(
+            f"top ASN's share of 6m-stable /64s: {top_share:.1%} "
+            "(paper: >65%, one ASN with 100M+ of 153M)"
+        )
+        assert top_share > 0.2

@@ -1,0 +1,77 @@
+"""Figure 5b: distributions of 16-bit segment MRA ratios across BGP prefixes.
+
+For every active BGP prefix with enough addresses, the eight 16-bit
+segment ratios are computed and summarized as the paper's box plots
+(median, middle 50%, middle 90%, maximum).  Shapes under test:
+
+* most aggregation happens in the three segments spanning bits 32-80
+  (their medians exceed the outer segments');
+* a meaningful minority (the 75th-95th percentile band) shows
+  aggregation in the 112-128 segment — the dense-block networks;
+* the 0-16 segment aggregates trivially (every address in a BGP prefix
+  shares the leading bits; median ~1).
+"""
+
+import pytest
+
+from repro.core.mra import profile, segment_ratio_matrix
+from repro.data import store as obstore
+from repro.sim import EPOCH_2015_03
+from repro.viz.boxplot import render_ascii, segment_box_stats
+
+MIN_PREFIX_POPULATION = 10
+
+
+def _per_prefix_matrix(internet, epoch_stores):
+    week = range(EPOCH_2015_03, EPOCH_2015_03 + 7)
+    addresses = obstore.from_array(
+        epoch_stores[EPOCH_2015_03].union_over(week)
+    )
+    groups = internet.registry.group_by_prefix(addresses)
+    profiles = [
+        profile(values)
+        for values in groups.values()
+        if len(values) >= MIN_PREFIX_POPULATION
+    ]
+    return segment_ratio_matrix(profiles)
+
+
+@pytest.mark.benchmark(group="fig5b")
+def test_fig5b_segment_ratio_boxes(benchmark, internet, epoch_stores, report):
+    matrix = benchmark.pedantic(
+        _per_prefix_matrix, args=(internet, epoch_stores), rounds=1, iterations=1
+    )
+    stats = segment_box_stats(matrix)
+
+    report.section(
+        f"Figure 5b: 16-bit segment ratio distributions over "
+        f"{matrix.shape[0]} BGP prefixes"
+    )
+    report.add(render_ascii(stats))
+    report.add("")
+    for index, box in enumerate(stats):
+        report.add(
+            f"bits {16 * index:>3}-{16 * (index + 1):<3}: median {box.median:8.1f}  "
+            f"p75 {box.p75:8.1f}  p95 {box.p95:9.1f}  max {box.maximum:9.1f}"
+        )
+
+    medians = [box.median for box in stats]
+
+    # Segment 0 (bits 0-16) aggregates trivially within a BGP prefix.
+    assert medians[0] == pytest.approx(1.0, abs=0.1)
+
+    # Most aggregation in bits 32-80 (segments 2, 3, 4): their median
+    # mass dominates the outer segments'.
+    inner = medians[2] * medians[3] * medians[4]
+    outer = medians[0] * medians[1] * medians[7]
+    assert inner > outer
+
+    # The 112-128 segment: mostly quiet (median near 1) but with an
+    # aggregating minority band, the paper's "about 20% of prefixes".
+    tail = stats[7]
+    assert tail.median < 4.0
+    assert tail.maximum > tail.median * 2
+
+    # Ratios never exceed the 16-bit bound.
+    for box in stats:
+        assert box.maximum <= 65536.0

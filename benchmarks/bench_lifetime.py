@@ -1,0 +1,115 @@
+"""Extension: address lifetime and survival analysis behind Figure 4.
+
+Figure 4's stepwise decay samples, at one reference day, the underlying
+survival function of addresses; this bench measures the function itself
+and the lifetime distribution, split by ground-truth population:
+
+* privacy addresses survive roughly one day (RFC 4941's 24h lifetime,
+  extended across two log days by carryover);
+* stable-assignment addresses (EUI-64, RFC 7217, static) survive
+  limited only by visit frequency;
+* the aggregate lifetime histogram is bimodal: a huge single-day mass
+  plus a persistent tail — the structure the paper's stability classes
+  discretize.
+"""
+
+import pytest
+
+from repro.core.churn import daily_churn, lifetime_histogram, survival_curve
+from repro.data import store as obstore
+from repro.sim import EPOCH_2015_03
+
+WINDOW = list(range(EPOCH_2015_03 - 7, EPOCH_2015_03 + 8))
+
+
+def _population_curves(internet, epoch_stores):
+    store = epoch_stores[EPOCH_2015_03]
+    truth = {}
+    for day in (EPOCH_2015_03 - 1, EPOCH_2015_03):
+        truth.update(internet.ground_truth_for_day(day))
+    reference = obstore.from_array(store.array(EPOCH_2015_03))
+    privacy = {v for v in reference if v in truth and truth[v].is_privacy}
+    stable = {
+        v for v in reference if v in truth and truth[v].is_stable_assignment
+    }
+
+    def survival_for(subset):
+        out = []
+        for distance in range(1, 8):
+            future = set(
+                obstore.from_array(store.array(EPOCH_2015_03 + distance))
+            )
+            out.append(
+                (distance, len(subset & future) / max(1, len(subset)))
+            )
+        return out
+
+    return survival_for(privacy), survival_for(stable), len(privacy), len(stable)
+
+
+@pytest.mark.benchmark(group="lifetime")
+def test_survival_by_population(benchmark, internet, epoch_stores, report):
+    privacy_curve, stable_curve, n_privacy, n_stable = benchmark.pedantic(
+        _population_curves, args=(internet, epoch_stores), rounds=1, iterations=1
+    )
+    report.section("Survival by population (ground truth): P(seen again at +k)")
+    report.add(f"{'k':>3} {'privacy':>10} {'stable-assignment':>18}")
+    for (k, p_privacy), (_k, p_stable) in zip(privacy_curve, stable_curve):
+        report.add(f"{k:>3} {p_privacy:>10.1%} {p_stable:>18.1%}")
+    report.add(f"(populations: {n_privacy} privacy, {n_stable} stable)")
+
+    privacy_by_k = dict(privacy_curve)
+    stable_by_k = dict(stable_curve)
+    # Privacy addresses die fast: survival at +2 days is marginal
+    # (carryover covers +1 only partially).
+    assert privacy_by_k[2] < 0.10
+    assert privacy_by_k[7] < 0.05
+    # Stable assignments keep returning, bounded by visit frequency.
+    assert stable_by_k[1] > 0.3
+    assert stable_by_k[7] > 0.2
+    # The separation is stark at every distance.
+    for k in range(2, 8):
+        assert stable_by_k[k] > 3 * privacy_by_k[k]
+
+
+@pytest.mark.benchmark(group="lifetime")
+def test_lifetime_histogram_bimodal(benchmark, epoch_stores, report):
+    store = epoch_stores[EPOCH_2015_03]
+    histogram = benchmark.pedantic(
+        lifetime_histogram, args=(store, WINDOW), rounds=1, iterations=1
+    )
+    total = sum(histogram.values())
+    single_day = histogram.get(0, 0) + histogram.get(1, 0)
+    long_lived = sum(count for span, count in histogram.items() if span >= 7)
+    report.section("Observed lifetime (span) distribution over 15 days")
+    for span in sorted(histogram):
+        share = histogram[span] / total
+        report.add(f"span {span:>2}d: {histogram[span]:>7} ({share:.1%})")
+    report.add(
+        f"single-day-ish mass (span<=1): {single_day / total:.1%}; "
+        f"week-plus tail: {long_lived / total:.1%}"
+    )
+    # Bimodal: dominant ephemeral mass plus a real persistent tail.
+    assert single_day / total > 0.6
+    assert long_lived / total > 0.01
+
+
+@pytest.mark.benchmark(group="lifetime")
+def test_daily_churn_balance(benchmark, epoch_stores, report):
+    store = epoch_stores[EPOCH_2015_03]
+    days = list(range(EPOCH_2015_03, EPOCH_2015_03 + 7))
+    churn = benchmark.pedantic(
+        daily_churn, args=(store, days), rounds=1, iterations=1
+    )
+    report.section("Daily churn (born/died/retained)")
+    for entry in churn:
+        report.add(
+            f"day {entry.day}: born {entry.born}, died {entry.died}, "
+            f"retained {entry.retained}"
+        )
+    # In steady state (plus slow growth), births roughly match deaths,
+    # and the retained share matches the Figure-4 one-day overlap.
+    for entry in churn:
+        active_today = entry.born + entry.retained
+        assert 0.05 < entry.retained / active_today < 0.7
+        assert entry.born > 0 and entry.died > 0

@@ -1,0 +1,88 @@
+"""§7.1: how badly /64 counts estimate subscribers and devices.
+
+The paper: "the number of active /64s observed in a week's time can
+miscount IPv6 WWW client devices by a factor of 100 in either direction"
+— dynamic-pool carriers inflate /64 counts far above subscribers, while
+shared-subnet networks (the department's single /64) undercount devices
+by orders of magnitude.  With simulator ground truth the per-network
+miscount factors are computed exactly.
+"""
+
+import pytest
+
+from repro.data import store as obstore
+from repro.sim import EPOCH_2015_03
+
+WEEK = list(range(EPOCH_2015_03, EPOCH_2015_03 + 7))
+
+
+def _per_network_counts(internet, epoch_stores):
+    store = epoch_stores[EPOCH_2015_03]
+    week_64s = obstore.from_array(
+        store.truncated(64).union_over(WEEK)
+    )
+    results = {}
+    for network in internet.networks:
+        prefixes = network.allocation.prefixes
+        active_64s = sum(
+            1 for value in week_64s if any(p.contains(value) for p in prefixes)
+        )
+        # Ground truth: distinct subscribers and devices active in the week.
+        subscribers = set()
+        devices = set()
+        population = network.population
+        for day in WEEK:
+            for subscriber_id in population.active_subscribers(day):
+                subscribers.add(subscriber_id)
+                for device in population.devices(subscriber_id):
+                    if population.device_is_active(device, day):
+                        devices.add((subscriber_id, device.device_index))
+        results[network.name] = (active_64s, len(subscribers), len(devices))
+    return results
+
+
+@pytest.mark.benchmark(group="miscount")
+def test_64_counts_miscount_subscribers(benchmark, internet, epoch_stores, report):
+    results = benchmark.pedantic(
+        _per_network_counts, args=(internet, epoch_stores), rounds=1, iterations=1
+    )
+
+    report.section("§7.1: weekly active /64s vs ground-truth subscribers/devices")
+    report.add(
+        f"{'network':<16} {'active /64s':>12} {'subscribers':>12} "
+        f"{'devices':>9} {'64s/subs':>9}"
+    )
+    factors = {}
+    for name, (active_64s, subscribers, devices) in sorted(results.items()):
+        if subscribers == 0:
+            continue
+        factor = active_64s / subscribers
+        factors[name] = factor
+        if name in (
+            "us-mobile-1", "us-mobile-2", "eu-isp", "jp-isp", "eu-univ-dept",
+            "jp-telco",
+        ):
+            report.add(
+                f"{name:<16} {active_64s:>12} {subscribers:>12} "
+                f"{devices:>9} {factor:>9.2f}"
+            )
+
+    mobile = factors["us-mobile-1"]
+    static = factors["jp-isp"]
+    department = factors["eu-univ-dept"]
+    report.add("")
+    report.add(
+        f"overcount (mobile pools): {mobile:.1f}x; faithful (static /48s): "
+        f"{static:.2f}x; undercount (shared /64): {department:.3f}x"
+    )
+    spread = mobile / department
+    report.add(
+        f"spread between extremes: {spread:.0f}x "
+        "(paper: 'factor of 100 in either direction')"
+    )
+
+    # The three regimes the paper names.
+    assert mobile > 2.0, "dynamic pools must overcount subscribers"
+    assert 0.5 < static < 1.5, "static delegation approximates subscribers"
+    assert department < 0.1, "a shared /64 undercounts by orders of magnitude"
+    assert spread > 50

@@ -1,0 +1,84 @@
+"""Extension: MRA-signature classification of per-network practice.
+
+§5.2.1 leaves "defining MRA-based address classes" as future work; the
+library implements a transparent signature classifier
+(:mod:`repro.core.signature`).  This bench evaluates it against the
+simulator's ground-truth plans over one week of activity:
+
+* the privacy-addressed networks (EU ISP, JP ISP, university, tail
+  ISPs) classify PRIVACY_SLAAC;
+* the dense populations (department, telco and hosting statics)
+  classify DENSE_BLOCK;
+* the dynamic-pool carriers classify POOL_SATURATED;
+* overall accuracy against ground truth is reported and bounded.
+"""
+
+import pytest
+
+from repro.core.signature import PrefixClass, classify_addresses
+from repro.data import store as obstore
+from repro.sim import EPOCH_2015_03
+
+WEEK = range(EPOCH_2015_03, EPOCH_2015_03 + 7)
+
+#: Ground truth: the plan tag each network kind should classify as.
+EXPECTED_BY_PLAN = {
+    "dynamic-pool": PrefixClass.POOL_SATURATED,
+    "pseudorandom-netid": PrefixClass.PRIVACY_SLAAC,
+    "static-isp": PrefixClass.PRIVACY_SLAAC,
+    "university": PrefixClass.PRIVACY_SLAAC,
+    "dense-dhcp": PrefixClass.DENSE_BLOCK,
+    "telco-structured": PrefixClass.DENSE_BLOCK,
+}
+
+
+def _classify_networks(internet, epoch_stores):
+    weekly = obstore.from_array(epoch_stores[EPOCH_2015_03].union_over(WEEK))
+    results = []
+    for network in internet.networks:
+        prefixes = network.allocation.prefixes
+        values = [v for v in weekly if any(p.contains(v) for p in prefixes)]
+        prefix_class, features = classify_addresses(values)
+        results.append((network, prefix_class, features, len(values)))
+    return results
+
+
+@pytest.mark.benchmark(group="signature")
+def test_mra_signature_classification(benchmark, internet, epoch_stores, report):
+    results = benchmark.pedantic(
+        _classify_networks, args=(internet, epoch_stores), rounds=1, iterations=1
+    )
+
+    report.section("Extension: MRA-signature classification vs ground truth")
+    correct = 0
+    scored = 0
+    flagship = {
+        "us-mobile-1", "us-mobile-2", "eu-isp", "jp-isp", "jp-telco",
+        "us-university", "eu-univ-dept",
+    }
+    for network, prefix_class, _features, size in results:
+        expected = EXPECTED_BY_PLAN.get(network.plan.tag)
+        if expected is None or prefix_class is PrefixClass.UNKNOWN:
+            continue
+        scored += 1
+        mark = "ok" if prefix_class is expected else "MISS"
+        correct += prefix_class is expected
+        if network.name in flagship:
+            report.add(
+                f"{network.name:<16} plan={network.plan.tag:<20} "
+                f"classified={prefix_class.value:<16} n={size:<6} {mark}"
+            )
+    accuracy = correct / max(1, scored)
+    report.add("")
+    report.add(f"accuracy over {scored} classifiable networks: {accuracy:.1%}")
+
+    by_name = {network.name: cls for network, cls, _f, _n in results}
+    # The flagship panels must classify correctly.
+    assert by_name["us-mobile-1"] is PrefixClass.POOL_SATURATED
+    assert by_name["us-mobile-2"] is PrefixClass.POOL_SATURATED
+    assert by_name["eu-isp"] is PrefixClass.PRIVACY_SLAAC
+    assert by_name["jp-isp"] is PrefixClass.PRIVACY_SLAAC
+    assert by_name["eu-univ-dept"] is PrefixClass.DENSE_BLOCK
+    assert by_name["jp-telco"] is PrefixClass.DENSE_BLOCK
+    # Aggregate accuracy: the signature reads practice well overall.
+    assert accuracy > 0.7

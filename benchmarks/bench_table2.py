@@ -1,0 +1,154 @@
+"""Table 2: stability of addresses and /64 prefixes, daily and weekly.
+
+Regenerates all four panels at the 2015 epoch with 6m/1y cross-epoch
+rows.  The shapes under test, from the paper's highlighted findings:
+
+* full addresses are mostly NOT 3d-stable per day (paper: 90.6% not);
+* /64 prefixes are overwhelmingly 3d-stable per day (paper: 89.8% are);
+* cross-epoch stable addresses are a tiny share (paper: 0.103% 1y-stable)
+  while cross-epoch stable /64s are substantial (paper: 18-38%);
+* weekly panels show smaller stable shares for addresses than daily
+  (stable sets grow slower than weekly unions).
+"""
+
+import pytest
+
+from repro.analysis.tables import count_with_share, render_table
+from repro.core.temporal import stability_table
+from repro.sim import EPOCH_2014_03, EPOCH_2014_09, EPOCH_2015_03
+
+PAPER = {
+    "addr_daily_stable": 0.0944,
+    "addr_weekly_stable": 0.0382,
+    "addr_6m_weekly": 0.00202,
+    "addr_1y_weekly": 0.00100,
+    "p64_daily_stable": 0.898,
+    "p64_weekly_stable": 0.803,
+    "p64_6m_weekly": 0.499,
+    "p64_1y_weekly": 0.378,
+}
+
+EARLIER = {"6m-stable (-6m)": EPOCH_2014_09, "1y-stable (-1y)": EPOCH_2014_03}
+
+
+def _tables(full_store):
+    addresses = stability_table(
+        full_store, "Mar 2015", EPOCH_2015_03, n=3, earlier_epochs=EARLIER
+    )
+    prefixes = stability_table(
+        full_store.truncated(64), "Mar 2015", EPOCH_2015_03, n=3,
+        earlier_epochs=EARLIER,
+    )
+    return addresses, prefixes
+
+
+def _panel(table, daily: bool, title: str, paper_stable: float) -> str:
+    if daily:
+        active = table.daily_active
+        stable = table.daily_stable
+        cross = table.cross_epoch_daily
+    else:
+        active = table.weekly_active
+        stable = table.weekly_stable
+        cross = table.cross_epoch_weekly
+    rows = [
+        ["3d-stable", count_with_share(stable, active), f"{paper_stable:.2%}"],
+        [
+            "not 3d-stable",
+            count_with_share(active - stable, active),
+            f"{1 - paper_stable:.2%}",
+        ],
+    ]
+    for label, value in cross.items():
+        rows.append([label, count_with_share(value, active), "-"])
+    return render_table(["class", "measured", "paper"], rows, title=title)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_stability_panels(benchmark, full_store, report):
+    addresses, prefixes = benchmark.pedantic(
+        _tables, args=(full_store,), rounds=1, iterations=1
+    )
+
+    report.section("Table 2a: stability of IPv6 addresses per day")
+    report.add(_panel(addresses, True, "addresses, daily", PAPER["addr_daily_stable"]))
+    report.section("Table 2b: stability of /64 prefixes per day")
+    report.add(_panel(prefixes, True, "/64s, daily", PAPER["p64_daily_stable"]))
+    report.section("Table 2c: stability of IPv6 addresses per week")
+    report.add(
+        _panel(addresses, False, "addresses, weekly", PAPER["addr_weekly_stable"])
+    )
+    report.section("Table 2d: stability of /64 prefixes per week")
+    report.add(_panel(prefixes, False, "/64s, weekly", PAPER["p64_weekly_stable"]))
+
+    addr_daily = addresses.daily_stable / max(1, addresses.daily_active)
+    p64_daily = prefixes.daily_stable / max(1, prefixes.daily_active)
+    addr_weekly = addresses.weekly_stable / max(1, addresses.weekly_active)
+    p64_weekly = prefixes.weekly_stable / max(1, prefixes.weekly_active)
+    report.add("")
+    report.add(
+        f"addr 3d-stable: daily {addr_daily:.1%} (paper 9.4%), "
+        f"weekly {addr_weekly:.1%} (paper 3.8%)"
+    )
+    report.add(
+        f"/64 3d-stable: daily {p64_daily:.1%} (paper 89.8%), "
+        f"weekly {p64_weekly:.1%} (paper 80.3%)"
+    )
+
+    # Shape assertions.
+    assert addr_daily < 0.5, "most addresses must not be 3d-stable"
+    assert p64_daily > 0.5, "most /64s must be 3d-stable"
+    assert p64_daily > 3 * addr_daily
+    # Weekly stable share below daily: unions grow faster than stables.
+    assert addr_weekly < addr_daily
+    assert p64_weekly <= p64_daily + 0.05
+
+    # Cross-epoch: tiny for addresses, substantial for /64s.
+    addr_1y = addresses.cross_epoch_weekly["1y-stable (-1y)"] / max(
+        1, addresses.weekly_active
+    )
+    p64_1y = prefixes.cross_epoch_weekly["1y-stable (-1y)"] / max(
+        1, prefixes.weekly_active
+    )
+    report.add(
+        f"1y-stable: addrs {addr_1y:.2%} (paper .100%), /64s {p64_1y:.1%} "
+        "(paper 37.8%)"
+    )
+    assert addr_1y < 0.15
+    assert p64_1y > 2 * addr_1y
+    # 6m-stable is a superset of 1y-stable in count terms.
+    assert (
+        addresses.cross_epoch_weekly["6m-stable (-6m)"]
+        >= addresses.cross_epoch_weekly["1y-stable (-1y)"] * 0.5
+    )
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_all_epochs_daily(benchmark, full_store, report):
+    """The three-epoch sweep of panels (a) and (b)."""
+
+    def sweep():
+        results = {}
+        for epoch in (EPOCH_2014_03, EPOCH_2014_09, EPOCH_2015_03):
+            results[epoch] = (
+                stability_table(full_store, str(epoch), epoch, n=3),
+                stability_table(full_store.truncated(64), str(epoch), epoch, n=3),
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.section("Table 2a/2b across epochs: daily 3d-stable shares")
+    rows = []
+    for epoch, (addresses, prefixes) in sorted(results.items()):
+        addr_share = addresses.daily_stable / max(1, addresses.daily_active)
+        p64_share = prefixes.daily_stable / max(1, prefixes.daily_active)
+        rows.append([str(epoch), f"{addr_share:.1%}", f"{p64_share:.1%}"])
+        assert addr_share < 0.5
+        assert p64_share > 0.5
+    report.add(
+        render_table(
+            ["epoch day", "addr 3d-stable", "/64 3d-stable"],
+            rows,
+            title="paper: addrs 9.2%/6.8%/9.4%; /64s 91.0%/89.9%/89.8%",
+        )
+    )

@@ -1,0 +1,81 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper.  The simulated
+internet is built once per session at ``REPRO_BENCH_SCALE`` (default
+0.15) and its daily logs for the three measurement epochs are shared
+across benches.  Each bench writes its paper-versus-measured report to
+``reports/<name>.txt`` (and the same text is attached to the benchmark's
+``extra_info``), so the full set of regenerated tables survives the run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.data.store import ObservationStore
+from repro.sim import (
+    EPOCH_2014_03,
+    EPOCH_2014_09,
+    EPOCH_2015_03,
+    InternetConfig,
+    build_internet,
+)
+from repro.sim.scenarios import epoch_days
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+REPORT_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "reports")
+
+
+@pytest.fixture(scope="session")
+def internet():
+    """The session-wide simulated internet."""
+    return build_internet(seed=BENCH_SEED, config=InternetConfig(scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def epoch_stores(internet) -> Dict[int, ObservationStore]:
+    """Daily logs around each of the three measurement epochs."""
+    return {
+        epoch: internet.build_store(epoch_days(epoch))
+        for epoch in (EPOCH_2014_03, EPOCH_2014_09, EPOCH_2015_03)
+    }
+
+
+@pytest.fixture(scope="session")
+def full_store(epoch_stores) -> ObservationStore:
+    """All three epochs merged into one store (for cross-epoch classes)."""
+    merged = ObservationStore()
+    for store in epoch_stores.values():
+        for observations in store.iter_days():
+            merged.add_observations(observations)
+    return merged
+
+
+@pytest.fixture()
+def report(request):
+    """Collect report lines; write them to reports/<test>.txt at teardown."""
+    lines = []
+
+    class Reporter:
+        def add(self, text: str = "") -> None:
+            lines.append(text)
+
+        def section(self, title: str) -> None:
+            lines.append("")
+            lines.append(f"== {title} ==")
+
+    reporter = Reporter()
+    yield reporter
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    name = request.node.name.replace("[", "_").replace("]", "")
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    # Echo the report so `pytest -s` shows it inline too.
+    print()
+    print("\n".join(lines))

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Case study: why counting a mobile carrier's /64s misleads (§6.2.1, §7.1).
+
+A dynamic-pool carrier (the paper's Figure 5e network) hands each UE a
+fresh /64 from capacity-sized pools on every association.  This script
+measures, against simulator ground truth:
+
+* how the weekly active /64 count compares to the true subscriber count
+  (the §7.1 overcount),
+* how quickly individual /64s are *reused by different subscribers*
+  (the operator-confirmed behaviour: "in just days"),
+* why "stable addresses" appear in a network with dynamic network
+  identifiers: fixed interface identifiers riding on reused /64s, and
+* the weekly MRA saturation of the pool segment.
+
+Run:  python examples/mobile_carrier_census.py
+"""
+
+from collections import defaultdict
+
+from repro.data import store as obstore
+from repro.sim import EPOCH_2015_03, InternetConfig, build_internet
+from repro.sim.scenarios import single_network_store
+from repro.viz.mra_plot import mra_plot
+
+SEED = 21
+WEEK = list(range(EPOCH_2015_03, EPOCH_2015_03 + 7))
+
+
+def main() -> None:
+    internet = build_internet(seed=SEED, config=InternetConfig(scale=0.1))
+    carrier = next(n for n in internet.networks if n.name == "us-mobile-1")
+    store = single_network_store(carrier, WEEK, seed=SEED)
+
+    # --- /64 counts vs subscribers -----------------------------------
+    weekly_64s = obstore.from_array(store.truncated(64).union_over(WEEK))
+    subscribers = set()
+    for day in WEEK:
+        subscribers.update(carrier.population.active_subscribers(day))
+    print(f"weekly active /64s:       {len(weekly_64s)}")
+    print(f"weekly active subscribers: {len(subscribers)}")
+    print(
+        f"-> the /64 count overcounts subscribers "
+        f"{len(weekly_64s) / len(subscribers):.1f}x\n"
+    )
+
+    # --- /64 reuse across subscribers --------------------------------
+    plan = carrier.plan
+    holders = defaultdict(set)
+    for day in WEEK:
+        for subscriber_id in carrier.population.active_subscribers(day):
+            for association in range(plan.associations(subscriber_id, day)):
+                network = plan.network_identifier(subscriber_id, day, association)
+                holders[network].add(subscriber_id)
+    reused = sum(1 for owners in holders.values() if len(owners) > 1)
+    print(
+        f"/64s assigned to more than one subscriber within the week: "
+        f"{reused} of {len(holders)} ({reused / len(holders):.0%})"
+    )
+    print("-> the paper's operator: reuse 'can occur in just days'\n")
+
+    # --- apparent stability from fixed IIDs --------------------------
+    week_union = obstore.from_array(store.union_over(WEEK))
+    daily_sets = [set(obstore.from_array(store.array(day))) for day in WEEK]
+    recurring = [
+        value
+        for value in week_union
+        if sum(value in day_set for day_set in daily_sets) >= 3
+    ]
+    fixed_one = sum(1 for value in recurring if value & 0xFFFFFFFFFFFFFFFF == 1)
+    print(
+        f"addresses recurring on 3+ days: {len(recurring)} "
+        f"({fixed_one} with the ::1 fixed IID)"
+    )
+    print(
+        "-> 'stable' addresses in a dynamic network: fixed IIDs on "
+        "reused /64s, usually a *different* subscriber each time (§6.1.1)\n"
+    )
+
+    # --- the Figure 5e MRA signature ----------------------------------
+    plot = mra_plot(week_union, title="US mobile carrier, one week")
+    print(plot.render_ascii())
+    capacity = len(carrier.allocation.prefixes) * (1 << plan.pool_bits)
+    print(
+        f"\npool utilization: {len(weekly_64s)}/{capacity} /64 slots "
+        f"({len(weekly_64s) / capacity:.0%}) — the 44-64 bit segment "
+        "saturates, as in Figure 5e"
+    )
+
+
+if __name__ == "__main__":
+    main()

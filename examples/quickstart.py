@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart: classify a simulated day of IPv6 WWW client activity.
+
+Builds a small simulated internet, generates daily aggregated logs
+around one reference day, and runs the paper's full toolchain:
+
+1. census (Table-1-style characteristics, culling transition mechanisms),
+2. temporal classification (3d-stable addresses and /64s),
+3. an MRA plot of the native address set,
+4. dense-prefix discovery (the 2@/112 class).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.tables import count_with_share, render_table, si_count
+from repro.core import census, classify_day, find_dense
+from repro.core.density import DensityClass
+from repro.sim import EPOCH_2015_03, InternetConfig, build_internet
+from repro.viz.mra_plot import mra_plot
+
+SEED = 7
+SCALE = 0.1
+REFERENCE = EPOCH_2015_03
+
+
+def main() -> None:
+    print("building the simulated internet ...")
+    internet = build_internet(seed=SEED, config=InternetConfig(scale=SCALE))
+    store = internet.build_store(range(REFERENCE - 8, REFERENCE + 8))
+
+    # 1. Census of the reference day.
+    row = census(store.array(REFERENCE), "reference day")
+    print()
+    print(
+        render_table(
+            ["characteristic", "value"],
+            [
+                ["Teredo addresses", count_with_share(row.teredo, row.total)],
+                ["ISATAP addresses", count_with_share(row.isatap, row.total)],
+                ["6to4 addresses", count_with_share(row.sixto4, row.total)],
+                ["Other addresses", count_with_share(row.other, row.total)],
+                ["Other /64 prefixes", si_count(row.other_64s)],
+                ["ave. addrs per /64", f"{row.avg_addrs_per_64:.2f}"],
+                ["EUI-64 addr (!6to4)", count_with_share(row.eui64_not_6to4, row.total)],
+            ],
+            title=f"Census: {si_count(row.total)} active addresses",
+        )
+    )
+
+    # 2. Temporal classification with the (-7d,+7d) window.
+    addresses = classify_day(store, REFERENCE)
+    prefixes = classify_day(store.truncated(64), REFERENCE)
+    print()
+    print(
+        render_table(
+            ["class", "addresses", "/64 prefixes"],
+            [
+                [
+                    "3d-stable",
+                    count_with_share(addresses.stable_count(3), addresses.active_count),
+                    count_with_share(prefixes.stable_count(3), prefixes.active_count),
+                ],
+                [
+                    "not 3d-stable",
+                    count_with_share(
+                        addresses.active_count - addresses.stable_count(3),
+                        addresses.active_count,
+                    ),
+                    count_with_share(
+                        prefixes.active_count - prefixes.stable_count(3),
+                        prefixes.active_count,
+                    ),
+                ],
+            ],
+            title="Stability (-7d,+7d): addresses churn, /64s persist",
+        )
+    )
+
+    # 3. MRA plot of the native set.
+    native = row.other_addresses
+    plot = mra_plot(native, title="MRA: all native client addresses")
+    print()
+    print(plot.render_ascii())
+
+    # 4. Dense prefixes: natural targets for active measurement.
+    dense = find_dense(native, DensityClass(2, 112))
+    print()
+    print(
+        f"2@/112-dense prefixes: {dense.num_prefixes} "
+        f"({dense.contained_addresses} client addrs inside, "
+        f"{si_count(dense.possible_addresses)} possible probe targets)"
+    )
+
+
+if __name__ == "__main__":
+    main()

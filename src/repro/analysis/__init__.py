@@ -1,0 +1,5 @@
+"""Report formatting helpers."""
+
+from repro.analysis.tables import count_with_share, percent, render_table, si_count
+
+__all__ = ["count_with_share", "percent", "render_table", "si_count"]

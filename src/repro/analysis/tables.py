@@ -1,0 +1,101 @@
+"""Paper-style table formatting.
+
+The paper reports counts with three-significant-figure SI suffixes
+("30.1M", "1.81M", "64.2K") and shares as percentages with three
+significant figures ("9.44%", ".296%").  The benchmarks print their rows
+in the same style so paper-versus-measured comparison is eyeball-direct;
+this module supplies the formatters and a minimal fixed-width table
+renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+_SUFFIXES = ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K"))
+
+
+def si_count(value: float) -> str:
+    """Format a count the way the paper does: ``30.1M``, ``1.8B``, ``64.2K``.
+
+    Three significant figures, suffix chosen by magnitude, no suffix under
+    one thousand.
+    """
+    if value < 0:
+        return "-" + si_count(-value)
+    for threshold, suffix in _SUFFIXES:
+        if value >= threshold:
+            scaled = value / threshold
+            if scaled >= 100:
+                return f"{scaled:.0f}{suffix}"
+            if scaled >= 10:
+                return f"{scaled:.1f}{suffix}"
+            return f"{scaled:.2f}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def percent(fraction: float) -> str:
+    """Format a share as the paper does: ``9.44%``, ``.296%``, ``92.0%``.
+
+    Three significant figures; a leading zero is dropped below 1% to
+    match the paper's style (``.103%``).
+    """
+    value = fraction * 100.0
+    if value >= 100:
+        return f"{value:.0f}%"
+    if value >= 10:
+        return f"{value:.1f}%"
+    if value >= 1:
+        return f"{value:.2f}%"
+    text = f"{value:.3f}"
+    # Trim to three significant figures and drop the leading zero.
+    if value > 0:
+        digits = 0
+        out = []
+        seen_nonzero = False
+        for char in text:
+            out.append(char)
+            if char.isdigit():
+                if char != "0":
+                    seen_nonzero = True
+                if seen_nonzero:
+                    digits += 1
+                if digits == 3:
+                    break
+        text = "".join(out)
+    return text.lstrip("0") + "%" if text.startswith("0.") else text + "%"
+
+
+def count_with_share(count: float, total: float) -> str:
+    """``30.1M (9.44%)`` — the paper's combined cell format."""
+    share = count / total if total else 0.0
+    return f"{si_count(count)} ({percent(share)})"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table with a header rule."""
+    materialized: List[List[str]] = [list(map(str, row)) for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[index]) if index == 0 else cell.rjust(widths[index])
+            for index, cell in enumerate(cells)
+        )
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,324 @@
+"""Command-line interface.
+
+Four tools mirror the paper's workflow, operating on aggregated daily log
+files (``address hits`` lines; see :mod:`repro.data.logfile`):
+
+* ``repro-census LOG...`` — Table-1-style characteristics of the union of
+  the given logs.
+* ``repro-stability --reference DAY LOG...`` — nd-stable classification
+  of the reference day within its sliding window.
+* ``repro-mra LOG...`` — the MRA plot of the logs' union, as an ASCII
+  chart plus the numeric ratio rows.
+* ``repro-dense --density n@/p LOG...`` — the dense prefixes of the
+  union, with the Table-3 accounting columns.
+
+Every tool accepts ``--simulate SCALE`` instead of log files to run
+against freshly generated simulator data, so the CLI is usable with zero
+inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import count_with_share, percent, render_table, si_count
+import importlib
+
+# The package namespace re-exports a function named `census`, shadowing the
+# same-named submodule in `import a.b as x` syntax, so resolve the modules
+# through importlib, which always returns the module object.
+census_mod = importlib.import_module("repro.core.census")
+density_mod = importlib.import_module("repro.core.density")
+temporal_mod = importlib.import_module("repro.core.temporal")
+from repro.data import logfile, store as obstore
+from repro.viz.mra_plot import mra_plot
+
+
+def _load_store(args: argparse.Namespace) -> obstore.ObservationStore:
+    """Load logs from files or generate a simulated store."""
+    if getattr(args, "simulate", None) is not None:
+        from repro.sim import EPOCH_2015_03, InternetConfig, build_internet
+
+        internet = build_internet(
+            seed=args.seed, config=InternetConfig(scale=args.simulate)
+        )
+        days = range(EPOCH_2015_03 - 8, EPOCH_2015_03 + 8)
+        return internet.build_store(days)
+    if not args.logs:
+        raise SystemExit("no log files given (or use --simulate SCALE)")
+    return logfile.load_store(args.logs)
+
+
+def _pipe_safe(tool):
+    """Make a CLI entry point exit cleanly when its stdout pipe closes.
+
+    ``repro-census ... | head`` should not traceback: a closed pipe is
+    the downstream consumer saying "enough".
+    """
+    import functools
+
+    @functools.wraps(tool)
+    def wrapper(argv: Optional[Sequence[str]] = None) -> int:
+        try:
+            return tool(argv)
+        except BrokenPipeError:
+            try:
+                sys.stdout.close()
+            except Exception:
+                pass
+            return 0
+
+    return wrapper
+
+
+def _common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("logs", nargs="*", help="aggregated daily log files")
+    parser.add_argument(
+        "--simulate",
+        type=float,
+        default=None,
+        metavar="SCALE",
+        help="generate simulator data at this scale instead of reading logs",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+
+@_pipe_safe
+def main_census(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-census``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-census",
+        description="Table-1-style characteristics of aggregated logs.",
+    )
+    _common_arguments(parser)
+    args = parser.parse_args(argv)
+    store = _load_store(args)
+    union = store.union_over(store.days())
+    row = census_mod.census(union, period_name="all days")
+    print(
+        render_table(
+            ["characteristic", "value"],
+            [
+                ["Teredo addresses", count_with_share(row.teredo, row.total)],
+                ["ISATAP addresses", count_with_share(row.isatap, row.total)],
+                ["6to4 addresses", count_with_share(row.sixto4, row.total)],
+                ["Other addresses", count_with_share(row.other, row.total)],
+                ["Other /64 prefixes", si_count(row.other_64s)],
+                ["ave. addrs per /64", f"{row.avg_addrs_per_64:.2f}"],
+                ["EUI-64 addr (!6to4)", count_with_share(row.eui64_not_6to4, row.total)],
+                ["EUI-64 IIDs (MACs)", si_count(row.eui64_distinct_macs)],
+            ],
+            title=f"Census of {row.period_name}: {si_count(row.total)} addresses",
+        )
+    )
+    return 0
+
+
+@_pipe_safe
+def main_stability(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-stability``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stability",
+        description="nd-stable classification of a reference day.",
+    )
+    _common_arguments(parser)
+    parser.add_argument(
+        "--reference", type=int, default=None, help="reference day number"
+    )
+    parser.add_argument("-n", type=int, default=3, help="stability gap in days")
+    parser.add_argument("--window", type=int, default=7, help="window half-span")
+    args = parser.parse_args(argv)
+    store = _load_store(args)
+    days = store.days()
+    if not days:
+        raise SystemExit("store is empty")
+    reference = args.reference if args.reference is not None else days[len(days) // 2]
+    result = temporal_mod.classify_day(store, reference, args.window, args.window)
+    stable = result.stable_count(args.n)
+    print(
+        render_table(
+            ["class", "count"],
+            [
+                [f"{args.n}d-stable", count_with_share(stable, result.active_count)],
+                [
+                    f"not {args.n}d-stable",
+                    count_with_share(
+                        result.active_count - stable, result.active_count
+                    ),
+                ],
+            ],
+            title=(
+                f"Stability of day {reference} "
+                f"(-{args.window}d,+{args.window}d): "
+                f"{si_count(result.active_count)} active"
+            ),
+        )
+    )
+    return 0
+
+
+@_pipe_safe
+def main_mra(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-mra``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mra",
+        description="MRA plot of the union of aggregated logs.",
+    )
+    _common_arguments(parser)
+    parser.add_argument("--title", default="MRA plot", help="chart title")
+    args = parser.parse_args(argv)
+    store = _load_store(args)
+    union = store.union_over(store.days())
+    plot = mra_plot(union, title=args.title)
+    print(plot.render_ascii())
+    print()
+    print(
+        render_table(
+            ["p", "16-bit", "4-bit", "1-bit"],
+            [
+                [str(p), f"{r16:.3g}", f"{r4:.3g}", f"{r1:.3g}"]
+                for p, r16, r4, r1 in plot.rows()
+            ],
+        )
+    )
+    return 0
+
+
+@_pipe_safe
+def main_dense(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-dense``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dense",
+        description="Dense-prefix (n@/p) classification of aggregated logs.",
+    )
+    _common_arguments(parser)
+    parser.add_argument(
+        "--density",
+        default="2@/112",
+        help="density class, e.g. 2@/112",
+    )
+    parser.add_argument(
+        "--show",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the first N dense prefixes",
+    )
+    args = parser.parse_args(argv)
+    try:
+        n_text, _, p_text = args.density.partition("@/")
+        density_class = density_mod.DensityClass(int(n_text), int(p_text))
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"bad --density {args.density!r}: {exc}") from exc
+    store = _load_store(args)
+    union = store.union_over(store.days())
+    result = density_mod.find_dense(union, density_class)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["density class", density_class.label],
+                ["dense prefixes", si_count(result.num_prefixes)],
+                ["contained addresses", si_count(result.contained_addresses)],
+                ["possible addresses", si_count(result.possible_addresses)],
+                ["address density", f"{result.address_density:.10f}"],
+            ],
+        )
+    )
+    if args.show and result.prefixes:
+        from repro.net.prefix import Prefix
+
+        print()
+        for network, length, count in result.prefixes[: args.show]:
+            print(f"  {Prefix(network, length)}  ({count} addrs)")
+    return 0
+
+
+@_pipe_safe
+def main_stableprefix(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-stableprefix`` (§7.2 plan discovery)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stableprefix",
+        description="Longest-stable-prefix discovery across daily logs.",
+    )
+    _common_arguments(parser)
+    parser.add_argument("-n", type=int, default=3, help="stability gap in days")
+    parser.add_argument(
+        "--min-days", type=int, default=2,
+        help="distinct observation days required per prefix",
+    )
+    args = parser.parse_args(argv)
+    store = _load_store(args)
+    from repro.core.stableprefix import longest_stable_prefixes
+
+    result = longest_stable_prefixes(store, n=args.n, min_days=args.min_days)
+    histogram = result.by_length()
+    print(
+        render_table(
+            ["prefix length", "longest stable prefixes"],
+            [[f"/{length}", str(count)] for length, count in sorted(histogram.items())],
+            title=(
+                f"Longest stable prefixes over days "
+                f"{store.days()[0]}..{store.days()[-1]} "
+                f"(n={args.n}, min_days={args.min_days})"
+            ),
+        )
+    )
+    print()
+    print(f"dominant boundary: /{result.dominant_length()}")
+    return 0
+
+
+@_pipe_safe
+def main_simulate(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-simulate``: write simulated daily logs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Generate simulated daily aggregated logs to a directory.",
+    )
+    parser.add_argument("directory", help="output directory for log files")
+    parser.add_argument("--scale", type=float, default=0.1, help="population scale")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--days", type=int, default=16, help="number of days")
+    parser.add_argument(
+        "--start",
+        type=int,
+        default=None,
+        help="first day number (default: 8 days before the 2015 epoch)",
+    )
+    args = parser.parse_args(argv)
+    from repro.sim import EPOCH_2015_03, InternetConfig, build_internet
+
+    start = args.start if args.start is not None else EPOCH_2015_03 - 8
+    internet = build_internet(seed=args.seed, config=InternetConfig(scale=args.scale))
+    store = internet.build_store(range(start, start + args.days))
+    paths = logfile.save_store(store, args.directory)
+    total = sum(len(store.get(day)) for day in store.days())
+    print(
+        f"wrote {len(paths)} daily logs ({si_count(total)} address-days) "
+        f"to {args.directory}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch ``python -m repro.cli <tool> ...``."""
+    tools = {
+        "census": main_census,
+        "stability": main_stability,
+        "mra": main_mra,
+        "dense": main_dense,
+        "stableprefix": main_stableprefix,
+        "simulate": main_simulate,
+    }
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in tools:
+        print(f"usage: repro.cli {{{','.join(tools)}}} ...", file=sys.stderr)
+        return 2
+    return tools[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Dense-prefix classification and Table 3 reporting (§5.2.2–§6.2.2).
+
+The spatial class *n@/p-dense* is the set of length-p prefixes containing
+at least n observed addresses, together with the addresses inside them.
+This module wraps the trie-level primitives with the bookkeeping the
+paper reports for each density class:
+
+* the number of dense prefixes found,
+* the observed addresses contained in them,
+* the number of *possible* addresses the prefixes span
+  (``prefixes * 2**(128-p)`` — the active-probing target budget), and
+* the resulting address density (observed / possible).
+
+These are exactly the columns of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.mra import ArrayOrAddresses, _as_address_array
+from repro.data import store as obstore
+from repro.net import addr
+from repro.net.prefix import Prefix, check_length
+
+
+@dataclass(frozen=True)
+class DensityClass:
+    """A density class specification: at least ``n`` addresses in a /p."""
+
+    n: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1: {self.n}")
+        check_length(self.p)
+
+    @property
+    def label(self) -> str:
+        """The paper's notation, e.g. ``"2 @ /112"``."""
+        return f"{self.n} @ /{self.p}"
+
+    @property
+    def span(self) -> int:
+        """Addresses covered by one prefix of this class."""
+        return 1 << (128 - self.p)
+
+
+#: The twelve density classes of Table 3, in the paper's row order.
+TABLE3_CLASSES: Tuple[DensityClass, ...] = (
+    DensityClass(2, 124),
+    DensityClass(3, 120),
+    DensityClass(2, 120),
+    DensityClass(2, 116),
+    DensityClass(64, 112),
+    DensityClass(32, 112),
+    DensityClass(16, 112),
+    DensityClass(8, 112),
+    DensityClass(4, 112),
+    DensityClass(2, 112),
+    DensityClass(2, 108),
+    DensityClass(2, 104),
+)
+
+
+@dataclass
+class DenseResult:
+    """One row of Table 3: the outcome of one density-class search.
+
+    Attributes:
+        density_class: the (n, p) class searched.
+        prefixes: the dense prefixes as (network, length, count) tuples.
+        contained_addresses: observed addresses inside the dense prefixes.
+    """
+
+    density_class: DensityClass
+    prefixes: List[Tuple[int, int, int]]
+    contained_addresses: int
+
+    @property
+    def num_prefixes(self) -> int:
+        """Count of dense prefixes found."""
+        return len(self.prefixes)
+
+    @property
+    def possible_addresses(self) -> int:
+        """Total addresses spanned: the active-probing target budget."""
+        return self.num_prefixes * self.density_class.span
+
+    @property
+    def address_density(self) -> float:
+        """Observed contained addresses divided by possible addresses."""
+        if self.possible_addresses == 0:
+            return 0.0
+        return self.contained_addresses / self.possible_addresses
+
+
+def _dense_fixed_from_array(
+    array: np.ndarray, n: int, p: int
+) -> Tuple[List[Tuple[int, int, int]], int]:
+    """Vectorized fixed-length dense search on a sorted address array.
+
+    Returns the dense (network, p, count) list and the total number of
+    observed addresses falling inside dense prefixes.
+    """
+    if array.shape[0] == 0:
+        return [], 0
+    full = array.copy()
+    if p <= 64:
+        mask = np.uint64(0) if p == 0 else np.uint64(((1 << p) - 1) << (64 - p))
+        full["hi"] = full["hi"] & mask
+        full["lo"] = 0
+    else:
+        low_bits = p - 64
+        mask = (
+            np.uint64(0xFFFFFFFFFFFFFFFF)
+            if low_bits == 64
+            else np.uint64(((1 << low_bits) - 1) << (64 - low_bits))
+        )
+        full["lo"] = full["lo"] & mask
+    unique, counts = np.unique(full, return_counts=True)
+    dense_mask = counts >= n
+    dense_networks = unique[dense_mask]
+    dense_counts = counts[dense_mask]
+    prefixes = [
+        ((int(hi) << 64) | int(lo), p, int(count))
+        for (hi, lo), count in zip(dense_networks, dense_counts)
+    ]
+    contained = int(dense_counts.sum())
+    return prefixes, contained
+
+
+def find_dense(
+    addresses: ArrayOrAddresses, density_class: DensityClass
+) -> DenseResult:
+    """Find all prefixes of one density class among distinct addresses."""
+    array = _as_address_array(addresses)
+    prefixes, contained = _dense_fixed_from_array(
+        array, density_class.n, density_class.p
+    )
+    return DenseResult(
+        density_class=density_class,
+        prefixes=prefixes,
+        contained_addresses=contained,
+    )
+
+
+def table3(
+    addresses: ArrayOrAddresses,
+    classes: Sequence[DensityClass] = TABLE3_CLASSES,
+) -> List[DenseResult]:
+    """Run the full Table 3 sweep over the given density classes."""
+    array = _as_address_array(addresses)
+    return [find_dense(array, density_class) for density_class in classes]
+
+
+def dense_prefix_objects(result: DenseResult) -> List[Prefix]:
+    """The dense prefixes of a result as :class:`Prefix` objects."""
+    return [Prefix(network, length) for network, length, _count in result.prefixes]
+
+
+def scan_targets(result: DenseResult, limit: int = 1_000_000) -> List[int]:
+    """Enumerate candidate probe targets inside the dense prefixes.
+
+    Every address of every dense prefix, up to ``limit`` (the budget
+    guard): this is the §6.2.2 proposal that dense blocks are feasible
+    active-scan targets, /112s being the IPv6 analogue of IPv4 /16s.
+    """
+    targets: List[int] = []
+    for network, length, _count in result.prefixes:
+        span = 1 << (128 - length)
+        remaining = limit - len(targets)
+        if remaining <= 0:
+            break
+        targets.extend(range(network, network + min(span, remaining)))
+    return targets

@@ -1,0 +1,118 @@
+"""Per-position entropy profiling of address sets.
+
+A companion to the MRA ratios: for each of the 32 nybble positions,
+the Shannon entropy (in bits, 0..4) of the values observed at that
+position across a set of addresses.  Where MRA ratios measure how a set
+*aggregates* under prefix splitting, entropy measures how *variable*
+each position is independently — the view tools like ``entropy/ip``
+popularized after this paper.
+
+The two views agree on the broad strokes (fixed fields score 0, random
+fields score ~4) but differ usefully: a position can carry high entropy
+yet aggregate completely (e.g. the last nybble of sequential hosts), and
+MRA sees ordering that entropy cannot.  ``benchmarks/bench_entropy.py``
+contrasts them on the scenario networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mra import ArrayOrAddresses, _as_address_array
+
+
+@dataclass
+class EntropyProfile:
+    """Per-nybble entropies of one address set.
+
+    Attributes:
+        size: number of distinct addresses profiled.
+        entropies: 32 values in bits (0 = constant, 4 = uniform hex).
+    """
+
+    size: int
+    entropies: np.ndarray
+
+    def nybble(self, index: int) -> float:
+        """Entropy of nybble ``index`` (0 = most significant)."""
+        if not 0 <= index < 32:
+            raise ValueError(f"nybble index out of range: {index}")
+        return float(self.entropies[index])
+
+    def segment_mean(self, start_bit: int, end_bit: int) -> float:
+        """Mean nybble entropy over a bit range (nybble-aligned)."""
+        if start_bit % 4 or end_bit % 4 or not 0 <= start_bit < end_bit <= 128:
+            raise ValueError(f"bad nybble-aligned range: {start_bit}..{end_bit}")
+        return float(self.entropies[start_bit // 4 : end_bit // 4].mean())
+
+    def constant_positions(self, threshold: float = 0.01) -> List[int]:
+        """Nybble indices whose entropy is ~0 (fixed fields)."""
+        return [int(i) for i in np.nonzero(self.entropies <= threshold)[0]]
+
+    def variable_positions(self, threshold: float = 3.5) -> List[int]:
+        """Nybble indices near maximal entropy (random-looking fields)."""
+        return [int(i) for i in np.nonzero(self.entropies >= threshold)[0]]
+
+
+def entropy_profile(addresses: ArrayOrAddresses) -> EntropyProfile:
+    """Compute the 32-nybble entropy profile of an address set."""
+    array = _as_address_array(addresses)
+    size = int(array.shape[0])
+    entropies = np.zeros(32, dtype=np.float64)
+    if size == 0:
+        return EntropyProfile(size=0, entropies=entropies)
+    hi = array["hi"]
+    lo = array["lo"]
+    for index in range(32):
+        if index < 16:
+            values = (hi >> np.uint64(60 - 4 * index)) & np.uint64(0xF)
+        else:
+            values = (lo >> np.uint64(60 - 4 * (index - 16))) & np.uint64(0xF)
+        counts = np.bincount(values.astype(np.int64), minlength=16)
+        probabilities = counts[counts > 0] / size
+        entropies[index] = float(-(probabilities * np.log2(probabilities)).sum())
+    return EntropyProfile(size=size, entropies=entropies)
+
+
+def render_profile(profile: EntropyProfile, title: str = "") -> str:
+    """Render an entropy profile as a compact bar string.
+
+    One character per nybble: ``.`` for ~0 bits through ``#`` for ~4,
+    with a scale line, e.g.::
+
+        nybble entropy (0..4 bits):  ....#### ######## ........ ........
+    """
+    glyphs = ".:-=+*%#"
+    cells = []
+    for index in range(32):
+        level = min(len(glyphs) - 1, int(profile.entropies[index] / 4.0 * len(glyphs)))
+        cells.append(glyphs[level])
+        if index % 8 == 7 and index != 31:
+            cells.append(" ")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("nybble entropy (. = 0 bits, # = 4 bits), MSB first:")
+    lines.append("  " + "".join(cells))
+    return "\n".join(lines)
+
+
+def compare_positions(
+    profile: EntropyProfile, mra_ratios_4bit: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float, float]]:
+    """Pair each nybble's entropy with its 4-bit MRA ratio.
+
+    Returns (bit position, entropy, log2(ratio)) rows — the two columns
+    agree where variability and aggregation coincide and diverge where
+    ordering matters.
+    """
+    ratio_by_position = dict(mra_ratios_4bit)
+    rows: List[Tuple[int, float, float]] = []
+    for index in range(32):
+        position = 4 * index
+        ratio = ratio_by_position.get(position, 1.0)
+        rows.append((position, float(profile.entropies[index]), float(np.log2(ratio))))
+    return rows

@@ -1,0 +1,232 @@
+"""Standards-based address-format classification.
+
+The paper (§3, §4) first buckets addresses by the early transition
+mechanisms whose formats are trivially recognized — Teredo, ISATAP, and
+6to4 — and calls everything else "Other" (native end-to-end IPv6
+transport).  Within "Other", EUI-64 SLAAC addresses can still be spotted
+by the ``ff:fe`` marker in the interface identifier, yielding a persistent
+per-host identity (the embedded MAC).  This module implements that
+classification, plus the finer-grained IID content features used by the
+Malone-style baseline and the simulator's ground-truth checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net import addr, mac, special
+
+
+class TransitionKind(enum.Enum):
+    """The transition-mechanism buckets of Table 1.
+
+    ``OTHER`` is the paper's "native" bucket: everything that is not one
+    of the three easily classified early transition mechanisms.  Newer
+    mechanisms (464XLAT, DS-Lite) use IPv6 end-to-end and so land in
+    ``OTHER`` deliberately, as in the paper.
+    """
+
+    TEREDO = "teredo"
+    ISATAP = "isatap"
+    SIXTO4 = "6to4"
+    OTHER = "other"
+
+
+class IidKind(enum.Enum):
+    """Content-based interface-identifier categories (after Malone).
+
+    These describe what the low 64 bits *look like*; they are heuristics,
+    which is exactly why the paper complements them with temporal
+    analysis.
+    """
+
+    EUI64 = "eui64"  # ff:fe marker; embeds a MAC address
+    ISATAP = "isatap"  # 5efe marker; embeds an IPv4 address
+    LOW = "low"  # small integer, e.g. ::103 (static assignment)
+    EMBEDDED_IPV4 = "embedded-ipv4"  # dotted quad readable in the IID
+    STRUCTURED = "structured"  # low-entropy but not small, e.g. ::10:901
+    RANDOM = "random"  # high-entropy; consistent with RFC 4941 privacy
+
+
+@dataclass(frozen=True)
+class AddressFormat:
+    """Full format classification of one address.
+
+    Attributes:
+        value: the classified address.
+        transition: which Table-1 bucket the address falls in.
+        iid_kind: content category of the interface identifier (only
+            meaningful for OTHER addresses with /64-style IIDs).
+        mac: the embedded MAC for EUI-64 IIDs, else None.
+        embedded_ipv4: IPv4 address recovered from 6to4/Teredo/ISATAP
+            forms, else None.
+    """
+
+    value: int
+    transition: TransitionKind
+    iid_kind: Optional[IidKind]
+    mac: Optional[int]
+    embedded_ipv4: Optional[int]
+
+    @property
+    def is_native(self) -> bool:
+        """True for the paper's "Other" (native transport) bucket."""
+        return self.transition is TransitionKind.OTHER
+
+    @property
+    def is_eui64(self) -> bool:
+        """True when the IID carries the EUI-64 ``ff:fe`` marker."""
+        return self.iid_kind is IidKind.EUI64
+
+
+#: IIDs numerically below this are treated as "low" static assignments.
+LOW_IID_LIMIT = 1 << 16
+
+
+def transition_kind(value: int) -> TransitionKind:
+    """Classify an address into the Table-1 transition buckets.
+
+    Teredo and 6to4 are prefix tests; ISATAP is an IID-content test and is
+    checked only for addresses that are not in the two reserved prefixes.
+    """
+    if special.is_teredo(value):
+        return TransitionKind.TEREDO
+    if special.is_6to4(value):
+        return TransitionKind.SIXTO4
+    if special.is_isatap(value):
+        return TransitionKind.ISATAP
+    return TransitionKind.OTHER
+
+
+def distinct_nybbles(iid: int) -> int:
+    """Number of distinct hex characters among the IID's 16 nybbles."""
+    seen = 0
+    for shift in range(0, 64, 4):
+        seen |= 1 << ((iid >> shift) & 0xF)
+    return bin(seen).count("1")
+
+
+def plausible_embedded_ipv4(iid: int) -> Optional[int]:
+    """Detect an IPv4 address written into the low 64 bits.
+
+    Two ad hoc conventions are recognized (cf. §3 "additional ad hoc
+    schemes"):
+
+    * hex-embedded: the high 32 bits of the IID are zero and the low 32
+      bits hold the IPv4 address directly (e.g. ``::c000:21e``); required
+      to look non-trivial (first octet non-zero).
+    * decimal-coded: each 16-bit segment of the IID spells one octet in
+      decimal (e.g. ``::192:0:2:33`` for 192.0.2.33).
+
+    Returns the 32-bit IPv4 value or None.
+    """
+    if iid >> 32 == 0 and iid >= LOW_IID_LIMIT:
+        candidate = iid & 0xFFFFFFFF
+        if (candidate >> 24) != 0:
+            return candidate
+    # Decimal-coded: each segment, read as hex text, is a decimal 0..255.
+    octets: List[int] = []
+    for shift in (48, 32, 16, 0):
+        segment = (iid >> shift) & 0xFFFF
+        text = f"{segment:x}"
+        if not text.isdigit():
+            break
+        value = int(text)
+        if value > 255:
+            break
+        octets.append(value)
+    if len(octets) == 4 and octets[0] != 0:
+        return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+    return None
+
+
+def classify_iid(iid: int, min_random_nybbles: int = 10) -> IidKind:
+    """Classify a 64-bit interface identifier by content.
+
+    The order of tests mirrors their reliability: exact markers first
+    (EUI-64, ISATAP), then numeric conventions (low, embedded IPv4), and
+    finally an entropy heuristic separating "structured" from "random".
+    ``min_random_nybbles`` is the distinct-hex-character threshold above
+    which an IID is deemed pseudorandom; see
+    :mod:`repro.core.baseline` for its calibration.
+    """
+    if mac.is_eui64_iid(iid):
+        return IidKind.EUI64
+    if (iid >> 32) in (0x00005EFE, 0x02005EFE):
+        return IidKind.ISATAP
+    if iid < LOW_IID_LIMIT:
+        return IidKind.LOW
+    if plausible_embedded_ipv4(iid) is not None:
+        return IidKind.EMBEDDED_IPV4
+    if distinct_nybbles(iid) >= min_random_nybbles:
+        return IidKind.RANDOM
+    return IidKind.STRUCTURED
+
+
+def classify(value: int) -> AddressFormat:
+    """Produce the full :class:`AddressFormat` for one address."""
+    addr.check_address(value)
+    transition = transition_kind(value)
+    embedded = None
+    if transition is TransitionKind.SIXTO4:
+        embedded = special.embedded_ipv4_6to4(value)
+    elif transition is TransitionKind.TEREDO:
+        embedded = special.embedded_ipv4_teredo(value)
+    elif transition is TransitionKind.ISATAP:
+        embedded = special.embedded_ipv4_isatap(value)
+
+    iid = value & addr.IID_MASK
+    iid_kind = classify_iid(iid)
+    embedded_mac = mac.eui64_mac_or_none(iid)
+    if embedded is None and iid_kind is IidKind.EMBEDDED_IPV4:
+        embedded = plausible_embedded_ipv4(iid)
+    return AddressFormat(
+        value=value,
+        transition=transition,
+        iid_kind=iid_kind,
+        mac=embedded_mac,
+        embedded_ipv4=embedded,
+    )
+
+
+def is_eui64_address(value: int) -> bool:
+    """True if the address's IID carries the EUI-64 marker."""
+    return mac.is_eui64_iid(addr.check_address(value) & addr.IID_MASK)
+
+
+def eui64_mac(value: int) -> Optional[int]:
+    """Return the MAC embedded in an EUI-64 address, else None."""
+    return mac.eui64_mac_or_none(addr.check_address(value) & addr.IID_MASK)
+
+
+def partition_by_transition(
+    addresses: Iterable[int],
+) -> Dict[TransitionKind, List[int]]:
+    """Split addresses into the four Table-1 buckets.
+
+    Returns a dict with all four keys present (possibly empty lists), in
+    the spirit of the paper's culling step: callers typically keep only
+    ``TransitionKind.OTHER`` for the temporal/spatial classifiers.
+    """
+    buckets: Dict[TransitionKind, List[int]] = {kind: [] for kind in TransitionKind}
+    for value in addresses:
+        buckets[transition_kind(value)].append(value)
+    return buckets
+
+
+def count_eui64(addresses: Iterable[int]) -> Tuple[int, int]:
+    """Count EUI-64 addresses and their distinct embedded MACs.
+
+    Returns ``(eui64_address_count, distinct_mac_count)`` — the two
+    EUI-64 rows of Table 1.
+    """
+    count = 0
+    macs = set()
+    for value in addresses:
+        embedded = mac.eui64_mac_or_none(value & addr.IID_MASK)
+        if embedded is not None:
+            count += 1
+            macs.add(embedded)
+    return count, len(macs)

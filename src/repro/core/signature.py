@@ -1,0 +1,212 @@
+"""MRA-signature classification of prefixes (the paper's proposed future work).
+
+§5.2.1 closes: "While defining MRA-based address classes is left for
+future work, we begin by developing spatial classification by
+identifying dense prefixes."  This module takes the next step the paper
+gestures at: classify a prefix's *addressing practice* directly from its
+MRA profile, using the signature features the paper reads off its plots.
+
+Classes (one per operator practice the paper documents):
+
+* ``PRIVACY_SLAAC`` — per-host /64s with RFC 4941 IIDs: single-bit
+  ratios near 2 just past bit 64, the u-bit dip at 70, a sparse tail.
+* ``DENSE_BLOCK`` — statically numbered hosts packed into small blocks:
+  prominent 112-128 ratios (Figures 2b, 5g).
+* ``POOL_SATURATED`` — dynamic /64 pools heavily utilized: large 16-bit
+  ratios in the 32-64 range with a quiet IID half (Figure 5e).
+* ``STRUCTURED`` — low-entropy assignment that matches none of the
+  above strongly (low IIDs, small subnet sets).
+* ``UNKNOWN`` — too few addresses to say.
+
+The classifier is deliberately transparent: thresholded features, each
+traceable to a sentence in the paper, evaluated by
+``benchmarks/bench_signature.py`` against simulator ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.mra import ArrayOrAddresses, MraProfile, profile as mra_profile
+
+
+class PrefixClass(enum.Enum):
+    """MRA-signature classes of addressing practice."""
+
+    PRIVACY_SLAAC = "privacy-slaac"
+    DENSE_BLOCK = "dense-block"
+    POOL_SATURATED = "pool-saturated"
+    STRUCTURED = "structured"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class SignatureFeatures:
+    """The numeric features one classification is based on.
+
+    Attributes:
+        size: distinct addresses profiled.
+        iid_plateau: mean single-bit ratio over bits 64..69.
+        u_bit_dip: single-bit ratio at bit 70 relative to its neighbours
+            (ratio < 1 marks RFC 4941's cleared u bit; exactly 1 when
+            the IID half carries no randomness at all).
+        tail_prominence: mean 4-bit ratio over bits 112..124.
+        subnet_use: product of 16-bit ratios at 32 and 48 (how much of
+            the operator-subnetting span is exercised).
+        iid_use: product of the four 16-bit ratios past bit 64.
+        iid_onset: single-bit ratio right at bit 64 — above ~1.3 when
+            /64s hold multiple addresses with differing IIDs.
+        u_bit_flat: the raw single-bit ratio at bit 70; exactly 1.0 when
+            the u bit is constant across every /71 pair (RFC 4941 sets
+            it to 0, EUI-64 to 1 — the value share disambiguates).
+        dense_share: fraction of addresses inside 2@/112-dense prefixes
+            (only available when classifying from addresses; None when
+            classifying a bare profile).
+        u_one_share: fraction of addresses whose u bit is 1 (EUI-64
+            territory); only available when classifying from addresses.
+    """
+
+    size: int
+    iid_plateau: float
+    u_bit_dip: float
+    tail_prominence: float
+    subnet_use: float
+    iid_use: float
+    iid_onset: float = 1.0
+    u_bit_flat: float = 1.0
+    dense_share: "float | None" = None
+    u_one_share: "float | None" = None
+
+
+#: Minimum distinct addresses for a confident signature.
+MIN_ADDRESSES = 24
+
+
+def extract_features(profile: MraProfile) -> SignatureFeatures:
+    """Compute the signature features from an MRA profile."""
+    plateau = sum(profile.ratio(p, 1) for p in range(64, 70)) / 6.0
+    neighbours = (profile.ratio(69, 1) + profile.ratio(71, 1)) / 2.0
+    dip = profile.ratio(70, 1) / max(neighbours, 1.0)
+    tail = sum(profile.ratio(p, 4) for p in range(112, 128, 4)) / 4.0
+    subnet_use = profile.ratio(32, 16) * profile.ratio(48, 16)
+    iid_use = 1.0
+    for p in range(64, 128, 16):
+        iid_use *= profile.ratio(p, 16)
+    return SignatureFeatures(
+        size=profile.size,
+        iid_plateau=plateau,
+        u_bit_dip=dip,
+        tail_prominence=tail,
+        subnet_use=subnet_use,
+        iid_use=iid_use,
+        iid_onset=profile.ratio(64, 1),
+        u_bit_flat=profile.ratio(70, 1),
+    )
+
+
+def _decide(features: SignatureFeatures) -> PrefixClass:
+    """The decision rules, in reliability order.
+
+    1. Dense blocks — by the dense-share of 2@/112 prefixes when
+       available (robust to mixed populations), else by tail ratios.
+    2. Privacy SLAAC — the relative u-bit dip is the load-bearing
+       signature (structured and fixed IIDs show no dip because the IID
+       half carries no randomness); a modest plateau confirms multiple
+       random IIDs per /64.
+    3. Pool saturation — the subnetting span heavily exercised while the
+       IID half is quiet (fixed IIDs riding dynamic /64s, Figure 5e).
+    4. Everything else is structured.
+    """
+    if features.size < MIN_ADDRESSES:
+        return PrefixClass.UNKNOWN
+
+    if features.dense_share is not None:
+        if features.dense_share > 0.3:
+            return PrefixClass.DENSE_BLOCK
+    elif features.tail_prominence > 1.5:
+        return PrefixClass.DENSE_BLOCK
+
+    # Privacy: /64s carry multiple differing IIDs (onset above 1.3) yet
+    # bit 70 never splits (RFC 4941's constant u=0); when the u-bit
+    # *value* is known, a u=1 majority means EUI-64, not privacy.
+    privacy_shape = features.iid_onset > 1.3 and features.u_bit_flat < 1.02
+    if privacy_shape and (
+        features.u_one_share is None or features.u_one_share < 0.3
+    ):
+        return PrefixClass.PRIVACY_SLAAC
+
+    if features.subnet_use > 16 * features.iid_use and features.subnet_use > 64:
+        return PrefixClass.POOL_SATURATED
+
+    if features.iid_plateau > 1.8:
+        return PrefixClass.PRIVACY_SLAAC
+
+    return PrefixClass.STRUCTURED
+
+
+def classify_profile(profile: MraProfile) -> Tuple[PrefixClass, SignatureFeatures]:
+    """Classify one prefix's addressing practice from its MRA profile.
+
+    Works from the profile alone (no dense-share available); prefer
+    :func:`classify_addresses` when the raw addresses are at hand.
+    """
+    features = extract_features(profile)
+    return _decide(features), features
+
+
+def classify_addresses(
+    addresses: ArrayOrAddresses,
+) -> Tuple[PrefixClass, SignatureFeatures]:
+    """Classify from raw addresses: profile features plus dense share."""
+    from repro.core.density import DensityClass, find_dense
+    from repro.core.mra import _as_address_array
+
+    import numpy as np
+
+    array = _as_address_array(addresses)
+    base = extract_features(mra_profile(array))
+    if base.size:
+        dense = find_dense(array, DensityClass(2, 112))
+        dense_share = dense.contained_addresses / base.size
+        # The u bit is IID bit 6 from the MSB: low-half bit 57.
+        u_bits = (array["lo"] >> np.uint64(57)) & np.uint64(1)
+        u_one_share = float(u_bits.mean())
+    else:
+        dense_share = 0.0
+        u_one_share = 0.0
+    features = SignatureFeatures(
+        size=base.size,
+        iid_plateau=base.iid_plateau,
+        u_bit_dip=base.u_bit_dip,
+        tail_prominence=base.tail_prominence,
+        subnet_use=base.subnet_use,
+        iid_use=base.iid_use,
+        iid_onset=base.iid_onset,
+        u_bit_flat=base.u_bit_flat,
+        dense_share=dense_share,
+        u_one_share=u_one_share,
+    )
+    return _decide(features), features
+
+
+def classify_groups(
+    groups: Iterable[Tuple[object, ArrayOrAddresses]],
+) -> List[Tuple[object, PrefixClass, SignatureFeatures]]:
+    """Classify many (key, addresses) groups, e.g. one per BGP prefix."""
+    results = []
+    for key, addresses in groups:
+        prefix_class, features = classify_addresses(addresses)
+        results.append((key, prefix_class, features))
+    return results
+
+
+def class_histogram(
+    results: Iterable[Tuple[object, PrefixClass, SignatureFeatures]],
+) -> Dict[PrefixClass, int]:
+    """Count classifications per class (for survey-style reporting)."""
+    histogram: Dict[PrefixClass, int] = {cls: 0 for cls in PrefixClass}
+    for _key, prefix_class, _features in results:
+        histogram[prefix_class] += 1
+    return histogram

@@ -1,0 +1,126 @@
+"""Streaming (online) stability classification.
+
+§5.1: "we wish to perform stability analysis on an ongoing basis" — the
+production setting is a pipeline that receives one aggregated log per
+day, forever, and must classify each day as soon as its trailing window
+completes, holding only a bounded number of days in memory.
+
+:class:`StabilityStream` implements that: feed days in chronological
+order with :meth:`push`; whenever a day's ``(-before, +after)`` window
+is complete, the classification for that day is emitted.  Memory is
+bounded by the window length — old days are dropped as the window
+slides — so the stream can run over unbounded log sequences.
+
+The emitted results are identical to the batch classifier's
+(:func:`repro.core.temporal.classify_day` over a store holding the same
+days), which a test asserts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.temporal import StabilityResult, classify_day
+from repro.data.store import DailyObservations, ObservationStore
+
+
+class StabilityStream:
+    """Online nd-stable classification with bounded memory.
+
+    Args:
+        window_before: days of history each classification needs.
+        window_after: days of future each classification waits for.
+    """
+
+    def __init__(self, window_before: int = 7, window_after: int = 7) -> None:
+        if window_before < 0 or window_after < 0:
+            raise ValueError("window spans must be non-negative")
+        self.window_before = window_before
+        self.window_after = window_after
+        self._days: "OrderedDict[int, DailyObservations]" = OrderedDict()
+        self._last_day: Optional[int] = None
+        self._pending: List[int] = []  # days awaiting their trailing window
+
+    def push(self, day: int, addresses: Iterable[int]) -> List[StabilityResult]:
+        """Ingest one day's log; return any newly complete classifications.
+
+        Days must arrive in strictly increasing order (the aggregation
+        pipeline's natural order); gaps are allowed and simply count as
+        empty days.
+        """
+        day = int(day)
+        if self._last_day is not None and day <= self._last_day:
+            raise ValueError(
+                f"days must be pushed in increasing order: {day} after "
+                f"{self._last_day}"
+            )
+        self._last_day = day
+        self._days[day] = DailyObservations(day, addresses)
+        self._pending.append(day)
+        return self._drain()
+
+    def _drain(self) -> List[StabilityResult]:
+        """Classify every pending day whose trailing window has arrived."""
+        results: List[StabilityResult] = []
+        while self._pending:
+            reference = self._pending[0]
+            if self._last_day < reference + self.window_after:
+                break
+            self._pending.pop(0)
+            results.append(self._classify(reference))
+            self._evict(reference)
+        return results
+
+    def _classify(self, reference: int) -> StabilityResult:
+        store = ObservationStore()
+        for observations in self._days.values():
+            store.add_observations(observations)
+        return classify_day(
+            store, reference, self.window_before, self.window_after
+        )
+
+    def _evict(self, classified_day: int) -> None:
+        """Drop days that no pending classification can still need."""
+        horizon = classified_day + 1 - self.window_before
+        for day in list(self._days):
+            if day < horizon:
+                del self._days[day]
+            else:
+                break
+
+    def flush(self) -> List[StabilityResult]:
+        """Classify the trailing days whose future window will never fill.
+
+        Call at end of stream: remaining days are classified with
+        whatever future context exists (fewer following days than the
+        window requests — exactly what a live pipeline would do at the
+        data's edge).
+        """
+        results: List[StabilityResult] = []
+        while self._pending:
+            reference = self._pending.pop(0)
+            results.append(self._classify(reference))
+        return results
+
+    @property
+    def days_held(self) -> int:
+        """How many days are currently buffered (bounded by the window)."""
+        return len(self._days)
+
+
+def stream_classify(
+    days: Iterable[tuple],
+    window_before: int = 7,
+    window_after: int = 7,
+) -> Iterator[StabilityResult]:
+    """Run a whole (day, addresses) sequence through a stability stream.
+
+    Yields classifications in day order, including the flushed tail.
+    """
+    stream = StabilityStream(window_before, window_after)
+    for day, addresses in days:
+        yield from stream.push(day, addresses)
+    yield from stream.flush()

@@ -1,0 +1,35 @@
+"""Observation storage and aggregated-log file I/O."""
+
+from repro.data.hitlist import (
+    HitlistReport,
+    read_hitlist,
+    sample_hitlist,
+    store_from_snapshots,
+    write_hitlist,
+)
+from repro.data.store import (
+    ADDRESS_DTYPE,
+    DailyObservations,
+    ObservationStore,
+    day_date,
+    day_number,
+    from_array,
+    to_array,
+    truncate_array,
+)
+
+__all__ = [
+    "ADDRESS_DTYPE",
+    "HitlistReport",
+    "DailyObservations",
+    "ObservationStore",
+    "day_date",
+    "day_number",
+    "from_array",
+    "read_hitlist",
+    "sample_hitlist",
+    "store_from_snapshots",
+    "to_array",
+    "truncate_array",
+    "write_hitlist",
+]

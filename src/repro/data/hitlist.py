@@ -1,0 +1,140 @@
+"""Public-hitlist ingestion: plain address lists as classifier input.
+
+The paper's CDN logs are proprietary, but public IPv6 hitlists (one
+address per line, optionally gzip-compressed, ``#`` comments) are the
+standard open substitute for *spatial* analysis — a hitlist is a single
+observation set, so temporal classification needs dated snapshots (one
+list per day), which this module also supports by treating a sequence of
+hitlist files as consecutive days.
+
+Functions here deliberately tolerate the mess real hitlists carry:
+duplicate addresses, mixed case, surrounding whitespace, and junk lines
+(reported, optionally skipped).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data.store import ObservationStore
+from repro.net import addr
+
+
+@dataclass
+class HitlistReport:
+    """What a hitlist load encountered.
+
+    Attributes:
+        addresses: the parsed, deduplicated addresses (sorted).
+        total_lines: every line seen.
+        parsed: lines that yielded an address (pre-dedup).
+        duplicates: parsed lines dropped as repeats.
+        skipped: comment/blank lines.
+        bad_lines: (line number, content) of unparseable lines.
+    """
+
+    addresses: List[int] = field(default_factory=list)
+    total_lines: int = 0
+    parsed: int = 0
+    duplicates: int = 0
+    skipped: int = 0
+    bad_lines: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def _open_maybe_gzip(path: str) -> IO[str]:
+    """Open a text file, transparently decompressing ``.gz``."""
+    if path.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def read_hitlist(path: str, strict: bool = False) -> HitlistReport:
+    """Read one hitlist file.
+
+    With ``strict=True`` the first malformed line raises
+    :class:`~repro.net.addr.AddressError`; otherwise malformed lines are
+    collected in the report and skipped.
+    """
+    report = HitlistReport()
+    seen = set()
+    with _open_maybe_gzip(path) as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            report.total_lines += 1
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                report.skipped += 1
+                continue
+            # Hitlists sometimes carry trailing annotations; the address
+            # is always the first whitespace-separated token.
+            token = line.split()[0]
+            try:
+                value = addr.parse(token)
+            except addr.AddressError:
+                if strict:
+                    raise
+                report.bad_lines.append((line_number, line[:80]))
+                continue
+            report.parsed += 1
+            if value in seen:
+                report.duplicates += 1
+                continue
+            seen.add(value)
+    report.addresses = sorted(seen)
+    return report
+
+
+def write_hitlist(path: str, addresses: Iterable[int]) -> int:
+    """Write addresses one per line (gzip when the path ends ``.gz``).
+
+    Returns the number of lines written.
+    """
+    count = 0
+    if path.endswith(".gz"):
+        handle: IO[str] = io.TextIOWrapper(
+            gzip.open(path, "wb"), encoding="ascii"
+        )
+    else:
+        handle = open(path, "w", encoding="ascii")
+    with handle:
+        for value in addresses:
+            handle.write(addr.format_address(value) + "\n")
+            count += 1
+    return count
+
+
+def store_from_snapshots(
+    paths: Sequence[str],
+    start_day: int = 0,
+    strict: bool = False,
+) -> Tuple[ObservationStore, List[HitlistReport]]:
+    """Treat a sequence of hitlist files as consecutive daily snapshots.
+
+    This is how public dated hitlists substitute for the paper's daily
+    logs: file *i* becomes day ``start_day + i``.  Returns the store and
+    the per-file load reports.
+    """
+    store = ObservationStore()
+    reports: List[HitlistReport] = []
+    for index, path in enumerate(paths):
+        report = read_hitlist(path, strict=strict)
+        reports.append(report)
+        store.add_day(start_day + index, report.addresses)
+    return store, reports
+
+
+def sample_hitlist(
+    addresses: Sequence[int], limit: int, seed: int = 0
+) -> List[int]:
+    """Deterministic uniform sample without replacement.
+
+    Probing budgets are finite; sampling a hitlist down is routine.
+    """
+    import random
+
+    if limit >= len(addresses):
+        return sorted(addresses)
+    rng = random.Random(seed)
+    return sorted(rng.sample(list(addresses), limit))

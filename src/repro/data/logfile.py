@@ -1,0 +1,107 @@
+"""Aggregated-log file format: the on-disk form of the paper's input.
+
+One text file per day, one log entry per line::
+
+    <address-presentation-format> <hit-count>
+
+with ``#``-prefixed comment lines (the header records the day number).
+This mirrors the paper's aggregated logs — hit counts per client address
+per 24-hour period — in a form that sorts and greps well.  The format is
+deliberately plain so external datasets (public hitlists, zmap output)
+can be converted in with a one-line awk script.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple
+
+from repro.data.store import DailyObservations, ObservationStore
+from repro.net import addr
+
+
+class LogFormatError(ValueError):
+    """Raised when a log line cannot be parsed."""
+
+
+def write_daily_log(
+    path: str,
+    day: int,
+    entries: Iterable[Tuple[int, int]],
+) -> None:
+    """Write one day's aggregated log: (address, hits) pairs."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# repro aggregated log day={day}\n")
+        for address, hits in entries:
+            handle.write(f"{addr.format_address(address)} {int(hits)}\n")
+
+
+def read_daily_log(path: str) -> Tuple[Optional[int], List[Tuple[int, int]]]:
+    """Read one day's aggregated log; returns (day, entries).
+
+    The day comes from the header comment when present, else None.
+    Malformed lines raise :class:`LogFormatError` with the line number.
+    """
+    day: Optional[int] = None
+    entries: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "day=" in line and day is None:
+                    try:
+                        day = int(line.split("day=", 1)[1].split()[0])
+                    except (ValueError, IndexError):
+                        pass
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise LogFormatError(
+                    f"{path}:{line_number}: expected 'address hits', got {line!r}"
+                )
+            try:
+                address = addr.parse(parts[0])
+            except addr.AddressError as exc:
+                raise LogFormatError(f"{path}:{line_number}: {exc}") from exc
+            if not parts[1].isdigit():
+                raise LogFormatError(
+                    f"{path}:{line_number}: bad hit count {parts[1]!r}"
+                )
+            entries.append((address, int(parts[1])))
+    return day, entries
+
+
+def save_store(store: ObservationStore, directory: str, prefix: str = "log") -> List[str]:
+    """Write every day of a store as ``<prefix>-<day>.txt`` files."""
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for observations in store.iter_days():
+        path = os.path.join(directory, f"{prefix}-{observations.day}.txt")
+        if observations.hits is not None:
+            entries = zip(observations.as_ints(), (int(h) for h in observations.hits))
+        else:
+            entries = ((address, 1) for address in observations.as_ints())
+        write_daily_log(path, observations.day, entries)
+        paths.append(path)
+    return paths
+
+
+def load_store(paths: Iterable[str]) -> ObservationStore:
+    """Load daily log files into an observation store.
+
+    Files without a day header take the next integer after the current
+    maximum (so ordering of pathnames defines their sequence).
+    """
+    store = ObservationStore()
+    next_day = 0
+    for path in paths:
+        day, entries = read_daily_log(path)
+        if day is None:
+            day = next_day
+        addresses = [address for address, _hits in entries]
+        hits = [hits for _address, hits in entries]
+        store.add_day(day, addresses, hits)
+        next_day = day + 1
+    return store

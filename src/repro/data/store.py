@@ -1,0 +1,282 @@
+"""Day-indexed observation storage for active-address analysis.
+
+The paper's input is a sequence of *daily aggregated logs*: for each day, the
+set of client addresses observed (with hit counts).  This module provides the
+column-oriented store the temporal classifier runs over.
+
+Addresses are held as numpy structured arrays with two unsigned 64-bit
+columns ``(hi, lo)`` — the high and low halves of the 128-bit address —
+sorted lexicographically and deduplicated.  numpy's ``intersect1d`` /
+``union1d`` / ``isin`` then give the per-day set algebra in vectorized form,
+which is what makes window-based stability analysis over millions of
+addresses per day practical in pure Python.
+
+Days are plain integers (day numbers); use any epoch you like, as the
+classifiers only ever take differences.  :func:`day_number` converts ISO
+dates for convenience.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net import addr
+
+#: Structured dtype for address columns: high then low 64 bits, so that the
+#: lexicographic order numpy uses for structured comparison equals numeric
+#: order of the 128-bit value.
+ADDRESS_DTYPE = np.dtype([("hi", "<u8"), ("lo", "<u8")])
+
+_EPOCH = datetime.date(2014, 1, 1)
+
+
+def day_number(date: "str | datetime.date") -> int:
+    """Convert an ISO date (or date object) to a day number.
+
+    Day 0 is 2014-01-01, placing the paper's three measurement epochs at
+    small positive numbers; only differences ever matter.
+    """
+    if isinstance(date, str):
+        date = datetime.date.fromisoformat(date)
+    return (date - _EPOCH).days
+
+
+def day_date(day: int) -> datetime.date:
+    """Inverse of :func:`day_number`."""
+    return _EPOCH + datetime.timedelta(days=int(day))
+
+
+def to_array(addresses: Iterable[int]) -> np.ndarray:
+    """Build a sorted, deduplicated address array from integer addresses."""
+    values = list(addresses)
+    array = np.empty(len(values), dtype=ADDRESS_DTYPE)
+    for index, value in enumerate(values):
+        addr.check_address(value)
+        array[index] = (value >> 64, value & addr.IID_MASK)
+    return np.unique(array)
+
+
+def from_array(array: np.ndarray) -> List[int]:
+    """Convert an address array back to a list of 128-bit integers."""
+    return [
+        (int(hi) << 64) | int(lo) for hi, lo in zip(array["hi"], array["lo"])
+    ]
+
+
+def array_size(array: np.ndarray) -> int:
+    """Number of addresses in an address array."""
+    return int(array.shape[0])
+
+
+def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Set intersection of two sorted address arrays."""
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def union(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Set union of two sorted address arrays."""
+    return np.union1d(a, b)
+
+
+def difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Addresses in ``a`` but not in ``b``."""
+    return np.setdiff1d(a, b, assume_unique=True)
+
+
+def member_mask(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``a``: which elements also appear in ``b``.
+
+    Both arrays must be sorted and unique; uses ``searchsorted`` rather
+    than ``np.isin`` because structured ``isin`` falls back to slow paths.
+    """
+    if array_size(b) == 0:
+        return np.zeros(array_size(a), dtype=bool)
+    positions = np.searchsorted(b, a)
+    positions = np.clip(positions, 0, array_size(b) - 1)
+    return b[positions] == a
+
+
+def union_many(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Union of any number of address arrays (empty input gives empty set)."""
+    if not arrays:
+        return np.empty(0, dtype=ADDRESS_DTYPE)
+    return np.unique(np.concatenate(arrays))
+
+
+def truncate_array(array: np.ndarray, prefix_len: int) -> np.ndarray:
+    """Truncate every address to ``prefix_len`` bits; dedupe and sort.
+
+    Truncating to /64 reduces the problem to distinct ``hi`` values with
+    ``lo`` zero — the "/64 prefixes" the paper tracks alongside full
+    addresses.
+    """
+    if not 0 <= prefix_len <= 128:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    result = array.copy()
+    if prefix_len <= 64:
+        if prefix_len == 0:
+            hi_mask = np.uint64(0)
+        else:
+            hi_mask = np.uint64(((1 << prefix_len) - 1) << (64 - prefix_len))
+        result["hi"] = result["hi"] & hi_mask
+        result["lo"] = 0
+    else:
+        low_bits = prefix_len - 64
+        if low_bits == 64:
+            lo_mask = np.uint64(0xFFFFFFFFFFFFFFFF)
+        else:
+            lo_mask = np.uint64(((1 << low_bits) - 1) << (64 - low_bits))
+        result["lo"] = result["lo"] & lo_mask
+    return np.unique(result)
+
+
+class DailyObservations:
+    """One day's worth of observed addresses, with optional hit counts.
+
+    Addresses are stored sorted and deduplicated; hit counts, when given,
+    are summed per unique address and kept in a parallel array.
+    """
+
+    def __init__(
+        self,
+        day: int,
+        addresses: Iterable[int],
+        hits: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.day = int(day)
+        values = list(addresses)
+        raw = np.empty(len(values), dtype=ADDRESS_DTYPE)
+        for index, value in enumerate(values):
+            addr.check_address(value)
+            raw[index] = (value >> 64, value & addr.IID_MASK)
+        if hits is None:
+            self.addresses = np.unique(raw)
+            self.hits = None
+        else:
+            hit_list = np.asarray(list(hits), dtype=np.uint64)
+            if hit_list.shape[0] != raw.shape[0]:
+                raise ValueError("hits must parallel addresses")
+            unique, inverse = np.unique(raw, return_inverse=True)
+            summed = np.zeros(unique.shape[0], dtype=np.uint64)
+            np.add.at(summed, inverse, hit_list)
+            self.addresses = unique
+            self.hits = summed
+
+    @classmethod
+    def from_array(cls, day: int, array: np.ndarray) -> "DailyObservations":
+        """Wrap a prebuilt (sorted, unique) address array without copying."""
+        instance = cls.__new__(cls)
+        instance.day = int(day)
+        instance.addresses = array
+        instance.hits = None
+        return instance
+
+    def __len__(self) -> int:
+        return array_size(self.addresses)
+
+    def as_ints(self) -> List[int]:
+        """The day's addresses as 128-bit integers."""
+        return from_array(self.addresses)
+
+    def truncated(self, prefix_len: int) -> "DailyObservations":
+        """This day's observations reduced to distinct /prefix_len networks."""
+        return DailyObservations.from_array(
+            self.day, truncate_array(self.addresses, prefix_len)
+        )
+
+
+class ObservationStore:
+    """A day-indexed collection of :class:`DailyObservations`.
+
+    The unit the temporal classifier consumes.  Also supports deriving a
+    prefix-level store (e.g. /64s) and unions over day ranges.
+    """
+
+    def __init__(self) -> None:
+        self._days: Dict[int, DailyObservations] = {}
+
+    def add_day(
+        self,
+        day: int,
+        addresses: Iterable[int],
+        hits: Optional[Iterable[int]] = None,
+    ) -> DailyObservations:
+        """Insert (or replace) one day of observations."""
+        observations = DailyObservations(day, addresses, hits)
+        self._days[observations.day] = observations
+        return observations
+
+    def add_observations(self, observations: DailyObservations) -> None:
+        """Insert a prebuilt day of observations."""
+        self._days[observations.day] = observations
+
+    def days(self) -> List[int]:
+        """Sorted list of days present in the store."""
+        return sorted(self._days)
+
+    def __contains__(self, day: int) -> bool:
+        return int(day) in self._days
+
+    def __len__(self) -> int:
+        return len(self._days)
+
+    def get(self, day: int) -> Optional[DailyObservations]:
+        """The observations for ``day``, or None when absent."""
+        return self._days.get(int(day))
+
+    def array(self, day: int) -> np.ndarray:
+        """The sorted address array for ``day`` (empty when absent)."""
+        observations = self._days.get(int(day))
+        if observations is None:
+            return np.empty(0, dtype=ADDRESS_DTYPE)
+        return observations.addresses
+
+    def union_over(self, days: Iterable[int]) -> np.ndarray:
+        """Union of the address sets of the given days."""
+        return union_many([self.array(day) for day in days])
+
+    def truncated(self, prefix_len: int) -> "ObservationStore":
+        """Derive a store whose members are /prefix_len networks."""
+        derived = ObservationStore()
+        for day, observations in self._days.items():
+            derived.add_observations(observations.truncated(prefix_len))
+        return derived
+
+    def iter_days(self) -> Iterator[DailyObservations]:
+        """Iterate the days in chronological order."""
+        for day in self.days():
+            yield self._days[day]
+
+    def save(self, path: str) -> None:
+        """Persist the store to an ``.npz`` file."""
+        payload = {}
+        for day, observations in self._days.items():
+            payload[f"hi_{day}"] = observations.addresses["hi"]
+            payload[f"lo_{day}"] = observations.addresses["lo"]
+            if observations.hits is not None:
+                payload[f"hits_{day}"] = observations.hits
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "ObservationStore":
+        """Load a store saved with :meth:`save`."""
+        store = cls()
+        with np.load(path) as data:
+            days = sorted(
+                int(name[3:]) for name in data.files if name.startswith("hi_")
+            )
+            for day in days:
+                hi = data[f"hi_{day}"]
+                lo = data[f"lo_{day}"]
+                array = np.empty(hi.shape[0], dtype=ADDRESS_DTYPE)
+                array["hi"] = hi
+                array["lo"] = lo
+                observations = DailyObservations.from_array(day, array)
+                hits_key = f"hits_{day}"
+                if hits_key in data.files:
+                    observations.hits = data[hits_key]
+                store.add_observations(observations)
+        return store

@@ -1,0 +1,428 @@
+"""IPv6 address machinery.
+
+This module provides the :class:`IPv6Address` value type used throughout the
+library.  Addresses are represented internally as 128-bit Python integers,
+which makes prefix arithmetic (shifts, masks) and sorting cheap and exact.
+
+The parser accepts the full RFC 4291 presentation syntax, including ``::``
+compression and embedded dotted-quad IPv4 (e.g. ``::ffff:192.0.2.1``).  The
+formatter emits the canonical RFC 5952 form (lower-case, longest zero run
+compressed, no leading zeros in a group).
+
+Only the pieces of address manipulation the paper's classifiers need are
+implemented here; everything is pure Python with no dependency on the
+standard-library ``ipaddress`` module (the substrate is built from scratch),
+though conversion helpers to and from it are provided for interoperability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+#: Number of bits in an IPv6 address.
+ADDRESS_BITS = 128
+
+#: Number of bits in the canonical interface identifier (IID).
+IID_BITS = 64
+
+#: Largest valid address value, i.e. ``2**128 - 1``.
+MAX_ADDRESS = (1 << ADDRESS_BITS) - 1
+
+#: Mask covering the canonical 64-bit interface-identifier portion.
+IID_MASK = (1 << IID_BITS) - 1
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+class AddressError(ValueError):
+    """Raised when an IPv6 address cannot be parsed or is out of range."""
+
+
+def _parse_ipv4_tail(text: str) -> int:
+    """Parse a dotted-quad IPv4 string into a 32-bit integer.
+
+    Used for the embedded-IPv4 tail of mixed-notation addresses such as
+    ``64:ff9b::192.0.2.33``.
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"invalid embedded IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"invalid embedded IPv4 octet: {part!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"embedded IPv4 octet out of range: {part!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def parse(text: str) -> int:
+    """Parse an IPv6 address in presentation format into a 128-bit integer.
+
+    Accepts RFC 4291 syntax: eight colon-separated 16-bit hexadecimal
+    groups, optional ``::`` zero compression, and an optional trailing
+    embedded dotted-quad IPv4 address.
+
+    Raises:
+        AddressError: if ``text`` is not a valid IPv6 address.
+    """
+    if not isinstance(text, str):
+        raise AddressError(f"expected str, got {type(text).__name__}")
+    text = text.strip()
+    if not text:
+        raise AddressError("empty address")
+    if "%" in text:  # zone identifiers are not meaningful for global analysis
+        raise AddressError(f"zone identifier not supported: {text!r}")
+
+    # Split off an embedded IPv4 tail, if present, and convert it to the
+    # equivalent final two hex groups.
+    ipv4_groups: List[str] = []
+    if "." in text:
+        head, _, tail = text.rpartition(":")
+        if not head:
+            raise AddressError(f"invalid mixed-notation address: {text!r}")
+        ipv4 = _parse_ipv4_tail(tail)
+        ipv4_groups = [f"{ipv4 >> 16:x}", f"{ipv4 & 0xFFFF:x}"]
+        # `head` keeps everything before the final colon.  When the IPv4
+        # tail directly followed a "::" (e.g. "64:ff9b::1.2.3.4"), head
+        # ends with one colon of that pair; restore the full "::" so the
+        # compression logic below sees it.
+        text = head + ":" if head.endswith(":") else head
+
+    if text == "::":
+        groups_text = [""]
+        compressed = True
+        left_part, right_part = "", ""
+    else:
+        compressed = "::" in text
+        if text.count("::") > 1:
+            raise AddressError(f"multiple '::' in address: {text!r}")
+        if compressed:
+            left_part, _, right_part = text.partition("::")
+        else:
+            left_part, right_part = text, ""
+        groups_text = []
+
+    def split_groups(part: str) -> List[str]:
+        if not part:
+            return []
+        groups = part.split(":")
+        if any(group == "" for group in groups):
+            raise AddressError(f"empty group in address: {text!r}")
+        return groups
+
+    if compressed:
+        left = split_groups(left_part)
+        right = split_groups(right_part) + ipv4_groups
+        missing = 8 - (len(left) + len(right))
+        if missing < 1:
+            raise AddressError(f"'::' must replace at least one group: {text!r}")
+        groups = left + ["0"] * missing + right
+    else:
+        groups = split_groups(text) + ipv4_groups
+
+    if len(groups) != 8:
+        raise AddressError(f"expected 8 groups, got {len(groups)}: {text!r}")
+
+    value = 0
+    for group in groups:
+        if not group or len(group) > 4 or any(c not in _HEX_DIGITS for c in group):
+            raise AddressError(f"invalid group {group!r} in address {text!r}")
+        value = (value << 16) | int(group, 16)
+    return value
+
+
+def format_address(value: int) -> str:
+    """Format a 128-bit integer as a canonical RFC 5952 IPv6 string.
+
+    The longest run of two or more zero groups is compressed with ``::``
+    (leftmost run on a tie), groups are lower-case with no leading zeros.
+
+    Raises:
+        AddressError: if ``value`` is out of the 128-bit range.
+    """
+    check_address(value)
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -1, -16)]
+
+    # Find the longest run of zero groups (length >= 2), leftmost on ties.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_len == 0:
+                run_start = index
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_len = 0
+    if best_len < 2:
+        best_start, best_len = -1, 0
+
+    parts: List[str] = []
+    index = 0
+    while index < 8:
+        if index == best_start:
+            parts.append("")
+            if index == 0:
+                parts.insert(0, "")
+            index += best_len
+            if index == 8:
+                parts.append("")
+        else:
+            parts.append(f"{groups[index]:x}")
+            index += 1
+    return ":".join(parts)
+
+
+def format_full(value: int) -> str:
+    """Format an address as 32 hex characters in 8 fixed-width groups.
+
+    This is the "fixed-width" form the paper's appendix trick uses
+    (``sort | cut -c1-$((p/4)) | uniq -c``); it sorts lexicographically in
+    the same order as numerically.
+    """
+    check_address(value)
+    return ":".join(f"{(value >> shift) & 0xFFFF:04x}" for shift in range(112, -1, -16))
+
+
+def format_hex32(value: int) -> str:
+    """Format an address as a bare 32-character hex string (no colons)."""
+    check_address(value)
+    return f"{value:032x}"
+
+
+def check_address(value: int) -> int:
+    """Validate that ``value`` is an in-range 128-bit address integer.
+
+    Returns the value unchanged so it can be used inline.
+
+    Raises:
+        AddressError: if out of range or not an integer.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise AddressError(f"expected int address, got {type(value).__name__}")
+    if value < 0 or value > MAX_ADDRESS:
+        raise AddressError(f"address out of 128-bit range: {value:#x}")
+    return value
+
+
+def high64(value: int) -> int:
+    """Return the high (network identifier) 64 bits of an address."""
+    return check_address(value) >> IID_BITS
+
+
+def low64(value: int) -> int:
+    """Return the low (interface identifier) 64 bits of an address."""
+    return check_address(value) & IID_MASK
+
+
+def from_halves(high: int, low: int) -> int:
+    """Assemble an address from 64-bit network-identifier and IID halves."""
+    if not 0 <= high <= IID_MASK:
+        raise AddressError(f"high half out of range: {high:#x}")
+    if not 0 <= low <= IID_MASK:
+        raise AddressError(f"low half out of range: {low:#x}")
+    return (high << IID_BITS) | low
+
+
+def bit(value: int, position: int) -> int:
+    """Return bit ``position`` of an address, numbered 0 (MSB) to 127 (LSB).
+
+    This matches the paper's convention, where "the 65th bit" is the first
+    bit of the interface identifier (position 64 here) and "the 71st bit"
+    (position 70) is the EUI-64 ``u`` bit.
+    """
+    check_address(value)
+    if not 0 <= position < ADDRESS_BITS:
+        raise AddressError(f"bit position out of range: {position}")
+    return (value >> (ADDRESS_BITS - 1 - position)) & 1
+
+
+def nybble(value: int, index: int) -> int:
+    """Return the 4-bit nybble at ``index``, numbered 0 (MSB) to 31 (LSB).
+
+    Nybble ``i`` covers bits ``4*i`` through ``4*i + 3``; nybble 8 is the
+    first hex character after the first colon-separated group boundary
+    (bit 32), which is where the paper inspects operator subnetting.
+    """
+    check_address(value)
+    if not 0 <= index < 32:
+        raise AddressError(f"nybble index out of range: {index}")
+    return (value >> (124 - 4 * index)) & 0xF
+
+
+def segment16(value: int, index: int) -> int:
+    """Return the 16-bit colon-delimited segment at ``index`` (0..7)."""
+    check_address(value)
+    if not 0 <= index < 8:
+        raise AddressError(f"segment index out of range: {index}")
+    return (value >> (112 - 16 * index)) & 0xFFFF
+
+
+def truncate(value: int, prefix_len: int) -> int:
+    """Zero all bits of ``value`` below the first ``prefix_len`` bits."""
+    check_address(value)
+    if not 0 <= prefix_len <= ADDRESS_BITS:
+        raise AddressError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    mask = MAX_ADDRESS ^ ((1 << (ADDRESS_BITS - prefix_len)) - 1)
+    return value & mask
+
+
+def prefix_bits(value: int, prefix_len: int) -> int:
+    """Return the first ``prefix_len`` bits of ``value``, right-aligned."""
+    check_address(value)
+    if not 0 <= prefix_len <= ADDRESS_BITS:
+        raise AddressError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return value >> (ADDRESS_BITS - prefix_len)
+
+
+def common_prefix_len(a: int, b: int) -> int:
+    """Return the length of the longest common prefix of two addresses."""
+    check_address(a)
+    check_address(b)
+    diff = a ^ b
+    if diff == 0:
+        return ADDRESS_BITS
+    return ADDRESS_BITS - diff.bit_length()
+
+
+class IPv6Address:
+    """An immutable IPv6 address.
+
+    Wraps a 128-bit integer with parsing, formatting, ordering, hashing and
+    the segment accessors the classifiers use.  Instances are interned-free
+    and cheap; hot paths in the library work directly on integers and only
+    construct :class:`IPv6Address` objects at API boundaries.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | str | IPv6Address") -> None:
+        if isinstance(value, IPv6Address):
+            self._value = value._value
+        elif isinstance(value, str):
+            self._value = parse(value)
+        else:
+            self._value = check_address(value)
+
+    @property
+    def value(self) -> int:
+        """The address as a 128-bit integer."""
+        return self._value
+
+    @property
+    def high(self) -> int:
+        """The high (network identifier) 64 bits."""
+        return self._value >> IID_BITS
+
+    @property
+    def low(self) -> int:
+        """The low (interface identifier) 64 bits."""
+        return self._value & IID_MASK
+
+    @property
+    def iid(self) -> int:
+        """Alias for :attr:`low`: the canonical 64-bit interface identifier."""
+        return self._value & IID_MASK
+
+    def bit(self, position: int) -> int:
+        """Bit at ``position`` (0 = most significant)."""
+        return bit(self._value, position)
+
+    def nybble(self, index: int) -> int:
+        """4-bit nybble at ``index`` (0 = most significant)."""
+        return nybble(self._value, index)
+
+    def segment16(self, index: int) -> int:
+        """16-bit colon-delimited segment at ``index`` (0..7)."""
+        return segment16(self._value, index)
+
+    def truncate(self, prefix_len: int) -> "IPv6Address":
+        """Return the address with all bits past ``prefix_len`` zeroed."""
+        return IPv6Address(truncate(self._value, prefix_len))
+
+    def __str__(self) -> str:
+        return format_address(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv6Address({format_address(self._value)!r})"
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv6Address):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPv6Address") -> bool:
+        if isinstance(other, IPv6Address):
+            return self._value < other._value
+        if isinstance(other, int):
+            return self._value < other
+        return NotImplemented
+
+    def __le__(self, other: "IPv6Address") -> bool:
+        if isinstance(other, IPv6Address):
+            return self._value <= other._value
+        if isinstance(other, int):
+            return self._value <= other
+        return NotImplemented
+
+    def __gt__(self, other: "IPv6Address") -> bool:
+        result = self.__le__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __ge__(self, other: "IPv6Address") -> bool:
+        result = self.__lt__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+
+def addresses_to_ints(addresses: Iterable["IPv6Address | int | str"]) -> List[int]:
+    """Normalize a mixed iterable of addresses into a list of integers.
+
+    Accepts :class:`IPv6Address` instances, raw integers, and presentation
+    strings.  This is the canonical input adapter used by the analysis
+    functions, so callers can pass whatever they have.
+    """
+    values: List[int] = []
+    for address in addresses:
+        if isinstance(address, IPv6Address):
+            values.append(address.value)
+        elif isinstance(address, str):
+            values.append(parse(address))
+        else:
+            values.append(check_address(address))
+    return values
+
+
+def iter_formatted(values: Iterable[int]) -> Iterator[str]:
+    """Yield canonical presentation strings for an iterable of int addresses."""
+    for value in values:
+        yield format_address(value)
+
+
+def split_halves(values: Iterable[int]) -> Tuple[List[int], List[int]]:
+    """Split int addresses into parallel (high64, low64) lists."""
+    highs: List[int] = []
+    lows: List[int] = []
+    for value in values:
+        check_address(value)
+        highs.append(value >> IID_BITS)
+        lows.append(value & IID_MASK)
+    return highs, lows

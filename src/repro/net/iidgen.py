@@ -1,0 +1,107 @@
+"""Interface-identifier generation schemes beyond EUI-64 and RFC 4941.
+
+The paper's §3 footnote lists the other standards-defined ways hosts
+derive interface identifiers; this module implements them so the
+simulator can model their populations and the classifiers can be
+evaluated against them:
+
+* **RFC 7217 stable privacy addresses** ("semantically opaque" IIDs):
+  ``F(prefix, net_iface, network_id, dad_counter, secret_key)`` — the
+  IID is *stable for a given prefix* but changes when the host moves to
+  another network.  Temporally these behave like EUI-64 (stable in
+  place) while spatially they look random — exactly the case the
+  paper's temporal classifier handles and content-only classification
+  cannot.
+* **Cryptographically Generated Addresses** (CGA, RFC 3972): the IID is
+  a hash of a public key and modifier; the 3-bit ``sec`` parameter is
+  encoded in the IID's leading bits and the u/g bits are zeroed.
+
+Both use SHA-256 here (RFC 7217 recommends it; RFC 3972 specifies SHA-1
+but the structural properties under study — stability and apparent
+randomness — are hash-agnostic, and this library is not generating
+addresses for live SEND deployments).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.net import addr
+
+#: u and g bits of the IID (bits 6 and 7 from the IID's MSB).
+_UG_MASK = (1 << 57) | (1 << 56)
+
+
+def rfc7217_iid(
+    prefix: int,
+    interface_name: str,
+    secret_key: bytes,
+    dad_counter: int = 0,
+    network_id: str = "",
+) -> int:
+    """Generate an RFC 7217 stable, semantically opaque IID.
+
+    ``prefix`` is the 64-bit network identifier (the high half of the
+    address).  The same inputs always produce the same IID; changing the
+    prefix (moving networks) produces an unrelated one.
+    """
+    if not 0 <= prefix < (1 << 64):
+        raise ValueError(f"prefix out of 64-bit range: {prefix:#x}")
+    if dad_counter < 0:
+        raise ValueError(f"dad_counter must be non-negative: {dad_counter}")
+    hasher = hashlib.sha256()
+    hasher.update(prefix.to_bytes(8, "big"))
+    hasher.update(interface_name.encode())
+    hasher.update(network_id.encode())
+    hasher.update(dad_counter.to_bytes(4, "big"))
+    hasher.update(secret_key)
+    return int.from_bytes(hasher.digest()[:8], "big")
+
+
+def rfc7217_address(
+    network: int, interface_name: str, secret_key: bytes, dad_counter: int = 0
+) -> int:
+    """Full address from a 64-bit network identifier and RFC 7217 IID."""
+    iid = rfc7217_iid(network, interface_name, secret_key, dad_counter)
+    return addr.from_halves(network, iid)
+
+
+def cga_iid(public_key: bytes, modifier: int = 0, sec: int = 0) -> int:
+    """Generate a CGA-style interface identifier (RFC 3972 structure).
+
+    The IID is derived from a hash of (modifier, public key); the 3-bit
+    ``sec`` parameter lands in the IID's three leading bits and the u/g
+    bits are forced to zero, as the RFC requires.
+    """
+    if not 0 <= sec <= 7:
+        raise ValueError(f"sec must be 0..7: {sec}")
+    if modifier < 0:
+        raise ValueError(f"modifier must be non-negative: {modifier}")
+    hasher = hashlib.sha256()
+    hasher.update(modifier.to_bytes(16, "big"))
+    hasher.update(public_key)
+    digest = int.from_bytes(hasher.digest()[:8], "big")
+    iid = digest & ~(0b111 << 61)  # clear the sec field position
+    iid |= sec << 61
+    iid &= ~_UG_MASK  # u and g must be zero
+    return iid
+
+
+def cga_sec(iid: int) -> int:
+    """Extract the 3-bit sec parameter from a CGA-structured IID."""
+    if not 0 <= iid < (1 << 64):
+        raise ValueError(f"IID out of 64-bit range: {iid:#x}")
+    return (iid >> 61) & 0b111
+
+
+def looks_like_cga(iid: int) -> bool:
+    """Weak structural test: u/g bits zero (necessary, not sufficient).
+
+    CGAs are indistinguishable from random IIDs by content beyond the
+    zeroed u/g bits — one more address family that only temporal
+    analysis separates, per the paper's argument.
+    """
+    if not 0 <= iid < (1 << 64):
+        raise ValueError(f"IID out of 64-bit range: {iid:#x}")
+    return (iid & _UG_MASK) == 0

@@ -1,0 +1,145 @@
+"""MAC addresses and EUI-64 interface identifiers.
+
+SLAAC hosts that do not use privacy extensions historically derived their
+64-bit interface identifier from the interface's 48-bit Ethernet MAC address
+using the Modified EUI-64 procedure (RFC 4291 Appendix A):
+
+* the MAC is split into its 24-bit OUI and 24-bit NIC-specific halves,
+* the 16-bit constant ``0xFFFE`` is inserted between them, and
+* the universal/local ("u") bit — bit 6 of the first MAC octet, counted
+  from the MSB — is inverted.
+
+Because the ``ff:fe`` marker is easy to spot, EUI-64 addresses are the one
+address family the paper can classify purely by content, and their embedded
+MAC gives a persistent host identity that §6.1.1 and §6.2.1 exploit.  This
+module implements the conversion in both directions plus the u/g bit
+helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Inserted between OUI and NIC halves by the EUI-64 expansion.
+EUI64_MARKER = 0xFFFE
+
+#: Position of the universal/local bit within the IID, from the MSB (bit 0).
+#: In the full 128-bit address this is "the 71st bit" per the paper.
+U_BIT_IN_IID = 6
+
+_MAX_MAC = (1 << 48) - 1
+_MAX_IID = (1 << 64) - 1
+
+
+class MacError(ValueError):
+    """Raised for malformed MAC addresses or non-EUI-64 identifiers."""
+
+
+def check_mac(value: int) -> int:
+    """Validate a 48-bit MAC address integer, returning it unchanged."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise MacError(f"expected int MAC, got {type(value).__name__}")
+    if not 0 <= value <= _MAX_MAC:
+        raise MacError(f"MAC out of 48-bit range: {value:#x}")
+    return value
+
+
+def parse_mac(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` (or ``-`` separated) into a 48-bit int."""
+    if not isinstance(text, str):
+        raise MacError(f"expected str, got {type(text).__name__}")
+    normalized = text.strip().lower().replace("-", ":")
+    parts = normalized.split(":")
+    if len(parts) != 6:
+        raise MacError(f"expected 6 octets in MAC: {text!r}")
+    value = 0
+    for part in parts:
+        if len(part) != 2:
+            raise MacError(f"bad MAC octet {part!r} in {text!r}")
+        try:
+            octet = int(part, 16)
+        except ValueError as exc:
+            raise MacError(f"bad MAC octet {part!r} in {text!r}") from exc
+        value = (value << 8) | octet
+    return value
+
+
+def format_mac(value: int) -> str:
+    """Format a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    check_mac(value)
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in range(40, -1, -8))
+
+
+def oui(mac: int) -> int:
+    """Return the 24-bit Organizationally Unique Identifier of a MAC."""
+    return check_mac(mac) >> 24
+
+
+def is_locally_administered(mac: int) -> bool:
+    """True if the MAC's u/l bit marks it locally administered."""
+    return bool((check_mac(mac) >> 41) & 1)
+
+
+def is_group(mac: int) -> bool:
+    """True if the MAC's i/g bit marks it a group (multicast) address."""
+    return bool((check_mac(mac) >> 40) & 1)
+
+
+def mac_to_eui64(mac: int) -> int:
+    """Expand a 48-bit MAC into a 64-bit Modified EUI-64 IID.
+
+    Inserts ``ff:fe`` between the OUI and NIC halves and flips the u bit,
+    exactly as SLAAC does (RFC 4291 Appendix A).
+    """
+    check_mac(mac)
+    high24 = mac >> 24
+    low24 = mac & 0xFFFFFF
+    iid = (high24 << 40) | (EUI64_MARKER << 24) | low24
+    return iid ^ (1 << (63 - U_BIT_IN_IID))
+
+
+def eui64_to_mac(iid: int) -> int:
+    """Recover the 48-bit MAC embedded in a Modified EUI-64 IID.
+
+    Raises:
+        MacError: if the IID does not carry the ``ff:fe`` marker.
+    """
+    if not is_eui64_iid(iid):
+        raise MacError(f"IID is not Modified EUI-64: {iid:#018x}")
+    unflipped = iid ^ (1 << (63 - U_BIT_IN_IID))
+    high24 = unflipped >> 40
+    low24 = unflipped & 0xFFFFFF
+    return (high24 << 24) | low24
+
+
+def is_eui64_iid(iid: int) -> bool:
+    """True if a 64-bit IID carries the ``ff:fe`` EUI-64 marker.
+
+    The marker occupies IID bits 24..39 counted from the LSB (i.e. address
+    bits 88..103).  This is a *content* test: some addresses match by
+    coincidence, which the paper acknowledges as rare false positives.
+    """
+    if not isinstance(iid, int) or isinstance(iid, bool):
+        raise MacError(f"expected int IID, got {type(iid).__name__}")
+    if not 0 <= iid <= _MAX_IID:
+        raise MacError(f"IID out of 64-bit range: {iid:#x}")
+    return (iid >> 24) & 0xFFFF == EUI64_MARKER
+
+
+def iid_u_bit(iid: int) -> int:
+    """Return the universal/local bit of a 64-bit IID.
+
+    1 means "universally administered" (typical for genuine EUI-64 derived
+    from a factory MAC); RFC 4941 privacy IIDs set it to 0, which produces
+    the characteristic MRA ratio drop at address bit 70 in Figure 2a.
+    """
+    if not 0 <= iid <= _MAX_IID:
+        raise MacError(f"IID out of 64-bit range: {iid:#x}")
+    return (iid >> (63 - U_BIT_IN_IID)) & 1
+
+
+def eui64_mac_or_none(iid: int) -> Optional[int]:
+    """Return the embedded MAC if ``iid`` looks like EUI-64, else ``None``."""
+    if is_eui64_iid(iid):
+        return eui64_to_mac(iid)
+    return None

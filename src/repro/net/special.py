@@ -1,0 +1,168 @@
+"""Special-use IPv6 prefixes and transition-mechanism address tests.
+
+The paper culls addresses belonging to the early transition mechanisms —
+Teredo (RFC 4380), 6to4 (RFC 3056/3068), and ISATAP (RFC 5214) — before
+running its classifiers, because these mechanisms embed IPv4 addresses and
+would otherwise skew the temporal and spatial results.  This module holds
+the special-use prefix registry and fast integer predicates for those
+tests, plus extraction of embedded IPv4 addresses.
+
+Bit conventions: addresses are 128-bit integers; "bits 16..48" in the 6to4
+description means the 32 bits immediately after the ``2002::/16`` prefix,
+matching the paper's Figure 5d.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net import addr
+from repro.net.prefix import Prefix, parse_prefix
+
+#: 6to4: ``2002::/16`` with the client's IPv4 address in bits 16..47.
+SIXTO4_PREFIX = parse_prefix("2002::/16")
+
+#: Teredo: ``2001::/32`` with server IPv4, flags, obfuscated port/client IPv4.
+TEREDO_PREFIX = parse_prefix("2001::/32")
+
+#: Documentation prefix (RFC 3849), used throughout tests and examples.
+DOCUMENTATION_PREFIX = parse_prefix("2001:db8::/32")
+
+#: Unique Local Addresses (RFC 4193).
+ULA_PREFIX = parse_prefix("fc00::/7")
+
+#: Link-local unicast (RFC 4291).
+LINK_LOCAL_PREFIX = parse_prefix("fe80::/10")
+
+#: Multicast (RFC 4291).
+MULTICAST_PREFIX = parse_prefix("ff00::/8")
+
+#: The global unicast space from which all production addresses come.
+GLOBAL_UNICAST_PREFIX = parse_prefix("2000::/3")
+
+#: IPv4-mapped (``::ffff:0:0/96``).
+IPV4_MAPPED_PREFIX = parse_prefix("::ffff:0:0/96")
+
+#: NAT64 well-known prefix (RFC 6052), used by 464XLAT's stateless leg.
+NAT64_WELL_KNOWN_PREFIX = parse_prefix("64:ff9b::/96")
+
+#: Named registry of the special-use prefixes above, for reporting.
+SPECIAL_PREFIXES: Dict[str, Prefix] = {
+    "6to4": SIXTO4_PREFIX,
+    "teredo": TEREDO_PREFIX,
+    "documentation": DOCUMENTATION_PREFIX,
+    "ula": ULA_PREFIX,
+    "link-local": LINK_LOCAL_PREFIX,
+    "multicast": MULTICAST_PREFIX,
+    "ipv4-mapped": IPV4_MAPPED_PREFIX,
+    "nat64": NAT64_WELL_KNOWN_PREFIX,
+}
+
+#: ISATAP IID patterns: ``::0000:5efe:a.b.c.d`` or ``::0200:5efe:a.b.c.d``
+#: (the u bit may be set for universally administered IPv4 addresses).
+_ISATAP_MARKERS = (0x00005EFE, 0x02005EFE)
+
+
+def is_6to4(value: int) -> bool:
+    """True if the address lies in the 6to4 ``2002::/16`` prefix."""
+    addr.check_address(value)
+    return (value >> 112) == 0x2002
+
+
+def is_teredo(value: int) -> bool:
+    """True if the address lies in the Teredo ``2001::/32`` prefix."""
+    addr.check_address(value)
+    return (value >> 96) == 0x20010000
+
+
+def is_isatap(value: int) -> bool:
+    """True if the IID matches the ISATAP ``...:5efe:a.b.c.d`` pattern."""
+    addr.check_address(value)
+    marker = (value >> 32) & 0xFFFFFFFF
+    return marker in _ISATAP_MARKERS
+
+
+def is_global_unicast(value: int) -> bool:
+    """True if the address lies in the ``2000::/3`` global unicast space."""
+    addr.check_address(value)
+    return (value >> 125) == 0b001
+
+
+def is_link_local(value: int) -> bool:
+    """True if the address is link-local (``fe80::/10``)."""
+    addr.check_address(value)
+    return (value >> 118) == 0x3FA
+
+
+def is_multicast(value: int) -> bool:
+    """True if the address is multicast (``ff00::/8``)."""
+    addr.check_address(value)
+    return (value >> 120) == 0xFF
+
+
+def is_ula(value: int) -> bool:
+    """True if the address is a Unique Local Address (``fc00::/7``)."""
+    addr.check_address(value)
+    return (value >> 121) == 0b1111110
+
+
+def embedded_ipv4_6to4(value: int) -> Optional[int]:
+    """Extract the IPv4 address embedded in a 6to4 address, if any.
+
+    6to4 places the client's public IPv4 address in bits 16..47.
+    """
+    if not is_6to4(value):
+        return None
+    return (value >> 80) & 0xFFFFFFFF
+
+
+def embedded_ipv4_teredo(value: int) -> Optional[int]:
+    """Extract the obfuscated client IPv4 from a Teredo address, if any.
+
+    Teredo stores the client's public IPv4 in the final 32 bits, XORed
+    with all-ones (RFC 4380 §4).
+    """
+    if not is_teredo(value):
+        return None
+    return (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+
+
+def embedded_ipv4_isatap(value: int) -> Optional[int]:
+    """Extract the IPv4 address from an ISATAP IID, if present."""
+    if not is_isatap(value):
+        return None
+    return value & 0xFFFFFFFF
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer as a dotted quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise addr.AddressError(f"IPv4 value out of range: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def special_class(value: int) -> Optional[str]:
+    """Return the special-use registry name covering an address, or None.
+
+    Checks the most specific entries first (Teredo is inside 2000::/3, and
+    the documentation prefix is inside global unicast), so classification
+    is deterministic.
+    """
+    addr.check_address(value)
+    if is_teredo(value):
+        return "teredo"
+    if is_6to4(value):
+        return "6to4"
+    if (value >> 96) == 0x20010DB8:
+        return "documentation"
+    if (value >> 32) == 0x64FF9B << 64:
+        return "nat64"
+    if (value >> 32) == 0xFFFF:
+        return "ipv4-mapped"
+    if is_ula(value):
+        return "ula"
+    if is_link_local(value):
+        return "link-local"
+    if is_multicast(value):
+        return "multicast"
+    return None

@@ -1,0 +1,200 @@
+"""The CDN log simulator: daily aggregated client-address logs.
+
+This is the stand-in for the paper's proprietary data source (§4.1):
+aggregated logs with hit counts per client IPv6 address over 24-hour
+periods.  A :class:`SimulatedInternet` holds a set of networks — each an
+ASN allocation, an addressing plan and a subscriber population — plus the
+transition-mechanism clients, and can produce the set of active addresses
+for any day, together with ground-truth labels.
+
+Two fidelity details from §4.1 are modelled:
+
+* **hit counts** per address follow a heavy-tailed distribution (most
+  clients few hits, some many);
+* **timestamp slew** — the aggregation pipeline finishes "roughly by the
+  end of the subsequent day", so with probability ``slew_probability``
+  an address's activity is attributed to the following day.  The paper's
+  sliding-window stability heuristic absorbs this, which a test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data.store import DailyObservations, ObservationStore
+from repro.sim import rng
+from repro.sim.plans import AddressingPlan, Device, GroundTruth
+from repro.sim.registry import AddressRegistry, AsnAllocation
+from repro.sim.subscribers import Population
+from repro.sim.transition import TransitionConfig, generate_transition_day
+
+
+@dataclass
+class Network:
+    """One simulated network: allocation + plan + population."""
+
+    allocation: AsnAllocation
+    plan: AddressingPlan
+    population: Population
+
+    @property
+    def name(self) -> str:
+        """The network's label (matches the plan and population keys)."""
+        return self.plan.name
+
+
+@dataclass
+class Observation:
+    """One simulated log entry: an address, its day, hits, and the truth."""
+
+    address: int
+    day: int
+    hits: int
+    truth: GroundTruth
+
+
+class SimulatedInternet:
+    """All simulated networks plus transition mechanisms, over time."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        registry: Optional[AddressRegistry] = None,
+        transition: Optional[TransitionConfig] = None,
+        slew_probability: float = 0.1,
+    ) -> None:
+        self.seed = seed
+        self.registry = registry if registry is not None else AddressRegistry(seed)
+        self.networks: List[Network] = []
+        self.transition = transition or TransitionConfig()
+        self.slew_probability = slew_probability
+
+    def add_network(self, network: Network) -> None:
+        """Register a network with the simulation."""
+        self.networks.append(network)
+
+    def _hits_for(self, address: int, day: int) -> int:
+        """Heavy-tailed per-address daily hit count (Zipf-ish)."""
+        uniform = rng.stable_uniform(self.seed, "hits", address, day)
+        return max(1, int((1.0 / max(uniform, 1e-9)) ** 0.6))
+
+    def observations_for_day(
+        self, day: int, carryover_probability: float = 0.3
+    ) -> Iterator[Observation]:
+        """Yield every native observation generated on ``day`` (pre-slew).
+
+        Privacy devices on stable network identifiers additionally emit
+        *yesterday's* address with ``carryover_probability``: an RFC 4941
+        temporary address stays valid for 24 hours, so its traffic often
+        straddles two log days.  This produces the large one-day overlap
+        step of Figure 4 without making such addresses 3d-stable.
+        """
+        for network in self.networks:
+            population = network.population
+            plan = network.plan
+            for subscriber_id in population.active_subscribers(day):
+                for device in population.devices(subscriber_id):
+                    if not population.device_is_active(device, day):
+                        continue
+                    produced = plan.daily_addresses(device, day)
+                    for address, truth in produced:
+                        yield Observation(
+                            address=address,
+                            day=day,
+                            hits=self._hits_for(address, day),
+                            truth=truth,
+                        )
+                    address, truth = produced[0]
+                    if (
+                        truth.is_privacy
+                        and plan.network_is_stable()
+                        and rng.stable_uniform(self.seed, "carryover", address)
+                        < carryover_probability
+                    ):
+                        previous, truth_prev = plan.address(device, day - 1)
+                        yield Observation(
+                            address=previous,
+                            day=day,
+                            hits=self._hits_for(previous, day),
+                            truth=truth_prev,
+                        )
+
+    def day_addresses(self, day: int, include_transition: bool = True) -> List[int]:
+        """The distinct active addresses attributed to ``day``.
+
+        Applies timestamp slew: each observation generated on day ``d``
+        is attributed to ``d`` or, with ``slew_probability``, to ``d+1``.
+        (Attribution of day-``d-1`` stragglers is included by also
+        drawing yesterday's observations.)
+        """
+        attributed: List[int] = []
+        for generated_day in (day - 1, day):
+            for observation in self.observations_for_day(generated_day):
+                slewed = (
+                    rng.stable_uniform(
+                        self.seed, "slew", observation.address, generated_day
+                    )
+                    < self.slew_probability
+                )
+                target = generated_day + 1 if slewed else generated_day
+                if target == day:
+                    attributed.append(observation.address)
+        if include_transition:
+            attributed.extend(
+                generate_transition_day(self.seed, self.transition, day)
+            )
+        return sorted(set(attributed))
+
+    def build_store(
+        self,
+        days: Iterable[int],
+        include_transition: bool = True,
+    ) -> ObservationStore:
+        """Generate daily logs for many days into an observation store."""
+        store = ObservationStore()
+        for day in days:
+            store.add_day(day, self.day_addresses(day, include_transition))
+        return store
+
+    def ground_truth_for_day(self, day: int) -> Dict[int, GroundTruth]:
+        """Address → truth mapping for the observations generated on a day.
+
+        Slew does not alter the truth labels, so benchmarks evaluating
+        classifiers can join on address; where one address is produced by
+        multiple devices (shared fixed IIDs on reused /64s), the last
+        writer wins, which is adequate for label purposes (such collisions
+        share policy labels by construction).
+        """
+        return {
+            observation.address: observation.truth
+            for observation in self.observations_for_day(day)
+        }
+
+    def labelled_privacy_sample(
+        self, day: int, limit: Optional[int] = None
+    ) -> List[Tuple[int, bool]]:
+        """(address, is_privacy) pairs for baseline evaluation."""
+        pairs: List[Tuple[int, bool]] = []
+        for observation in self.observations_for_day(day):
+            pairs.append((observation.address, observation.truth.is_privacy))
+            if limit is not None and len(pairs) >= limit:
+                break
+        return pairs
+
+    def device_census(self, day: int) -> Dict[str, int]:
+        """Ground truth: distinct active devices and subscribers per day.
+
+        The §7.1 comparison baseline — what /64 counts are trying to
+        estimate.
+        """
+        devices = 0
+        subscribers = 0
+        for network in self.networks:
+            population = network.population
+            for subscriber_id in population.active_subscribers(day):
+                subscribers += 1
+                for device in population.devices(subscriber_id):
+                    if population.device_is_active(device, day):
+                        devices += 1
+        return {"devices": devices, "subscribers": subscribers}

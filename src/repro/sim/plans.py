@@ -1,0 +1,650 @@
+"""Addressing plans and IID policies: how simulated networks assign addresses.
+
+Every behaviour the paper reverse-engineers from MRA plots is modelled
+here as an explicit *addressing plan* (how a subscriber gets a network
+identifier) combined with *IID policies* (how that subscriber's devices
+pick interface identifiers):
+
+* :class:`StaticIspPlan` — each subscriber owns a fixed /48 (or /56, /64)
+  forever; the JP ISP of Figure 5h, whose /48s carry one constant 16-bit
+  subnet value.
+* :class:`DynamicPoolPlan` — each association draws a fresh /64 from
+  pools under the carrier's many /44s; the US mobile carrier of Figure
+  5e, whose 44–64 bit segment saturates within a week and whose /64s are
+  reused by other subscribers within days.
+* :class:`PseudorandomNetidPlan` — a pseudorandom 15-bit number at bits
+  41–55 of the network identifier, rotated on demand; the EU ISP of
+  Figure 5f (the Deutsche Telekom-style "privacy button").
+* :class:`UniversityPlan` — a /32 with only a few active subnet values
+  at the first nybble past bit 32 and sparse /64s; Figure 2a.
+* :class:`DenseDhcpPlan` — one /64 shared by ~100 DHCPv6 hosts packed
+  into the low 16 bits; the EU university department of Figure 5g.
+* :class:`TelcoStructuredPlan` — statically addressed hosts in
+  tightly-packed /112 blocks next to a privacy-addressed population;
+  the JP telco of Figure 2b.
+
+IID policies cover RFC 4941 privacy (fresh pseudorandom IID each day,
+"u" bit cleared), EUI-64 (fixed, derived from the device MAC), fixed
+shared IIDs (the mobile-carrier oddity of §4.1's footnote), sequential
+DHCP-style low IIDs, and structured static values.
+
+Every generated address carries a :class:`GroundTruth` record, which is
+what lets the benchmarks score the classifiers (e.g. the Malone baseline's
+~73% recall, or the §7.1 subscriber-miscount factors) against reality.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net import addr, mac
+from repro.net.prefix import Prefix
+from repro.sim import rng
+
+#: Mask clearing the "u" bit (address bit 70 == IID bit 6 from the MSB).
+_U_BIT = 1 << 57
+
+
+@dataclass(frozen=True)
+class Device:
+    """One subscriber device: a host interface with a factory MAC."""
+
+    subscriber_id: int
+    device_index: int
+    mac: int
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Truth labels attached to every simulated observation.
+
+    Attributes:
+        network: name of the generating network.
+        plan: the addressing plan's class tag.
+        subscriber_id: the subscriber the address belongs to.
+        device_index: which of the subscriber's devices produced it.
+        iid_policy: tag of the IID policy used.
+        is_privacy: True when the IID is an RFC 4941 privacy identifier.
+        is_stable_assignment: True when this (subscriber, device) pair
+            would produce the same address on any other day — the
+            temporal classifier's ground truth.
+    """
+
+    network: str
+    plan: str
+    subscriber_id: int
+    device_index: int
+    iid_policy: str
+    is_privacy: bool
+    is_stable_assignment: bool
+
+
+class IidPolicy(abc.ABC):
+    """How a device chooses the interface-identifier half of its address."""
+
+    name: str = "abstract"
+    is_privacy: bool = False
+    is_stable: bool = True
+
+    @abc.abstractmethod
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        """Return the 64-bit IID for (device, day)."""
+
+
+class PrivacyIid(IidPolicy):
+    """RFC 4941 privacy extensions: a fresh pseudorandom IID each day.
+
+    The default valid lifetime is 24 hours, so modelling one IID per
+    device per day matches the paper's expectation that most "not
+    3d-stable" addresses are privacy addresses.  The "u" bit is cleared,
+    producing the bit-70 MRA signature of Figure 2a.
+    """
+
+    name = "privacy"
+    is_privacy = True
+    is_stable = False
+
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        value = rng.stable_u64(
+            seed, "privacy", network, device.subscriber_id, device.device_index, day
+        )
+        return value & ~_U_BIT
+
+
+class StablePrivacyIid(IidPolicy):
+    """RFC 7217 stable, semantically opaque IIDs.
+
+    Stable for a given network identifier, unrelated across networks:
+    temporally these behave like EUI-64 hosts (the paper's stability
+    classes catch them) while their content is indistinguishable from
+    RFC 4941 privacy addresses — the population that defeats content-only
+    classification entirely.
+    """
+
+    name = "stable-privacy"
+    is_privacy = False
+    is_stable = True
+
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        from repro.net.iidgen import rfc7217_iid
+
+        # The plan passes the day only for churning policies; RFC 7217
+        # keys on the device's (simulated) secret and its current
+        # network identifier, which the plan supplies via `network` name
+        # scoping plus the device identity here.  Stability across days
+        # within one network is the property under test.
+        secret = rng.stable_u64(
+            seed, "7217-secret", device.subscriber_id, device.device_index
+        ).to_bytes(8, "big")
+        return rfc7217_iid(0, f"{network}", secret)
+
+
+class Eui64Iid(IidPolicy):
+    """SLAAC Modified EUI-64: the IID embeds the device's MAC forever."""
+
+    name = "eui64"
+
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        return mac.mac_to_eui64(device.mac)
+
+
+class FixedIid(IidPolicy):
+    """A constant IID shared by many devices.
+
+    Models the mobile-carrier behaviour of §4.1's footnote: many devices
+    simultaneously using one fixed interface identifier (the prevalent
+    bogus MAC ``00:11:22:33:44:56`` expands to one EUI-64 value), so the
+    full address's identity rides entirely on the network identifier.
+    """
+
+    def __init__(self, value: int, name: str = "fixed") -> None:
+        if not 0 <= value < (1 << 64):
+            raise ValueError(f"IID out of range: {value:#x}")
+        self._value = value
+        self.name = name
+
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        return self._value
+
+
+class SequentialIid(IidPolicy):
+    """DHCPv6-style low IIDs: base + a small per-device offset."""
+
+    name = "sequential"
+
+    def __init__(self, base: int = 0x100) -> None:
+        self._base = base
+
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        return self._base + device.subscriber_id * 4 + device.device_index
+
+
+class StructuredIid(IidPolicy):
+    """Structured static IIDs like ``::10:901``: a tag and a host number.
+
+    The tag occupies IID bits 16..31 (the second-to-last 16-bit segment),
+    the host number the final 16 bits — the "(ii)" sample of Figure 1.
+    """
+
+    name = "structured"
+
+    def __init__(self, tag: int = 0x10, hosts_per_tag: int = 4096) -> None:
+        self._tag = tag
+        self._hosts_per_tag = hosts_per_tag
+
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        host = (
+            device.subscriber_id * 4 + device.device_index
+        ) % self._hosts_per_tag + 0x100
+        return (self._tag << 16) | host
+
+
+class AddressingPlan(abc.ABC):
+    """How a network maps (subscriber, device, day) to a full address."""
+
+    tag: str = "abstract"
+
+    def __init__(self, name: str, seed: int) -> None:
+        self.name = name
+        self.seed = seed
+
+    @abc.abstractmethod
+    def network_identifier(self, subscriber_id: int, day: int) -> int:
+        """The high 64 bits (the /64) hosting the subscriber on ``day``."""
+
+    @abc.abstractmethod
+    def iid_policy(self, device: Device) -> IidPolicy:
+        """The IID policy this device uses (stable per device)."""
+
+    def network_is_stable(self) -> bool:
+        """True when subscribers keep the same network identifier daily."""
+        return True
+
+    def daily_addresses(self, device: Device, day: int) -> List[Tuple[int, GroundTruth]]:
+        """All addresses the device uses during one day.
+
+        Most plans produce exactly one; plans with intra-day network-id
+        churn (mobile reassociation) override this to produce several.
+        """
+        return [self.address(device, day)]
+
+    def address(self, device: Device, day: int) -> Tuple[int, GroundTruth]:
+        """Generate the device's address for one day, with truth labels."""
+        policy = self.iid_policy(device)
+        high = self.network_identifier(device.subscriber_id, day)
+        low = policy.iid(self.seed, self.name, device, day)
+        value = addr.from_halves(high, low)
+        truth = GroundTruth(
+            network=self.name,
+            plan=self.tag,
+            subscriber_id=device.subscriber_id,
+            device_index=device.device_index,
+            iid_policy=policy.name,
+            is_privacy=policy.is_privacy,
+            is_stable_assignment=policy.is_stable and self.network_is_stable(),
+        )
+        return value, truth
+
+    def _pick_policy(
+        self,
+        device: Device,
+        policies: Sequence[IidPolicy],
+        weights: Sequence[float],
+    ) -> IidPolicy:
+        """Deterministically assign a policy to a device by weight."""
+        draw = rng.stable_uniform(
+            self.seed, "policy", self.name, device.subscriber_id, device.device_index
+        )
+        cumulative = 0.0
+        for policy, weight in zip(policies, weights):
+            cumulative += weight
+            if draw < cumulative:
+                return policy
+        return policies[-1]
+
+
+class StaticIspPlan(AddressingPlan):
+    """Fixed per-subscriber delegation, the JP-ISP shape (Figure 5h).
+
+    Subscriber ``i`` owns the i-th /``delegation_len`` of the BGP prefix
+    forever and uses a single /64 inside it whose subnet field is a
+    constant derived from the subscriber — so all of a /48's addresses
+    share one 16-bit value at bits 48..63, producing no aggregation in
+    that segment, and active /64 counts approximate subscribers.
+    """
+
+    tag = "static-isp"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        prefix: Prefix,
+        delegation_len: int = 48,
+        privacy_share: float = 0.97,
+        business_share: float = 0.08,
+    ) -> None:
+        super().__init__(name, seed)
+        if not prefix.length <= delegation_len <= 64:
+            raise ValueError(f"bad delegation length: {delegation_len}")
+        self.prefix = prefix
+        self.delegation_len = delegation_len
+        self.business_share = business_share
+        # The non-privacy remainder splits between legacy EUI-64 hosts
+        # and modern RFC 7217 stable-privacy hosts (stable in place,
+        # random-looking in content).
+        remainder = 1.0 - privacy_share
+        self._policies: Tuple[IidPolicy, ...] = (
+            PrivacyIid(),
+            Eui64Iid(),
+            StablePrivacyIid(),
+        )
+        self._weights = (privacy_share, remainder * 0.6, remainder * 0.4)
+        self._business_policy = SequentialIid(base=0x10)
+
+    def _is_business(self, subscriber_id: int) -> bool:
+        """Business subscribers number hosts statically and sequentially.
+
+        These populations give the 112-128 MRA segment its aggregating
+        minority across BGP prefixes (Figure 5b).
+        """
+        return (
+            rng.stable_uniform(self.seed, "business", self.name, subscriber_id)
+            < self.business_share
+        )
+
+    def network_identifier(self, subscriber_id: int, day: int) -> int:
+        delegation_count = 1 << (self.delegation_len - self.prefix.length)
+        slot = subscriber_id % delegation_count
+        delegation = self.prefix.network >> 64
+        delegation |= slot << (64 - self.delegation_len)
+        subnet_bits = 64 - self.delegation_len
+        if subnet_bits:
+            subnet = rng.stable_u64(self.seed, "subnet", self.name, subscriber_id)
+            delegation |= subnet % (1 << subnet_bits)
+        return delegation
+
+    def iid_policy(self, device: Device) -> IidPolicy:
+        if self._is_business(device.subscriber_id):
+            return self._business_policy
+        return self._pick_policy(device, self._policies, self._weights)
+
+
+class DynamicPoolPlan(AddressingPlan):
+    """Per-association /64s from dynamic pools, the US-mobile shape (5e).
+
+    Each active day the subscriber's gateway hands out a /64 drawn from
+    the pool under one of the carrier's /``pool_prefix_len`` BGP prefixes
+    (the paper's carrier advertises over 400 /44s).  ``pool_bits``
+    controls how much of the 44–64 bit segment a pool spans; with enough
+    associations the segment saturates, as in the paper's weekly plot.
+    /64 reuse by different subscribers follows naturally from the draws.
+    """
+
+    tag = "dynamic-pool"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        prefixes: Sequence[Prefix],
+        pool_bits: Optional[int] = None,
+        fixed_one_share: float = 0.08,
+        shared_mac_share: float = 0.04,
+        eui64_share: float = 0.03,
+    ) -> None:
+        super().__init__(name, seed)
+        if not prefixes:
+            raise ValueError("at least one pool prefix required")
+        self.prefixes = list(prefixes)
+        self.pool_bits = pool_bits  # None: the full span down to /64
+        # Most UEs run privacy extensions; a minority use fixed IIDs —
+        # the ::1 convention or the bogus shared MAC the paper's footnote
+        # calls out — which is what makes "stable" addresses appear in a
+        # network with dynamic network identifiers (§6.1.1); few use a
+        # genuine per-device EUI-64.
+        shared_iid = mac.mac_to_eui64(mac.parse_mac("00:11:22:33:44:56"))
+        self._policies: Tuple[IidPolicy, ...] = (
+            FixedIid(1, name="fixed-one"),
+            FixedIid(shared_iid, name="fixed-shared-mac"),
+            Eui64Iid(),
+            PrivacyIid(),
+        )
+        self._weights = (
+            fixed_one_share,
+            shared_mac_share,
+            eui64_share,
+            max(0.0, 1.0 - fixed_one_share - shared_mac_share - eui64_share),
+        )
+
+    def network_is_stable(self) -> bool:
+        return False
+
+    def associations(self, subscriber_id: int, day: int) -> int:
+        """How many times the subscriber's UE associates on one day.
+
+        Mobile devices reassociate as they move between gateways and
+        wake from idle — each association draws a fresh /64, which is
+        why weekly active /64 counts overcount mobile subscribers
+        (§7.1) even while individual /64s are reused within days.
+        """
+        return 1 + rng.stable_u64(
+            self.seed, "assoc", self.name, subscriber_id, day
+        ) % 4
+
+    def network_identifier(
+        self, subscriber_id: int, day: int, association: int = 0
+    ) -> int:
+        pool_index = rng.stable_u64(
+            self.seed, "pool-pick", self.name, subscriber_id, day, association
+        ) % len(self.prefixes)
+        pool = self.prefixes[pool_index]
+        available_bits = 64 - pool.length
+        bits = available_bits if self.pool_bits is None else min(
+            self.pool_bits, available_bits
+        )
+        draw = rng.stable_u64(
+            self.seed, "pool-draw", self.name, subscriber_id, day, association
+        )
+        slot = draw % (1 << bits)
+        return (pool.network >> 64) | slot
+
+    def daily_addresses(self, device: Device, day: int) -> List[Tuple[int, GroundTruth]]:
+        policy = self.iid_policy(device)
+        results = []
+        for association in range(self.associations(device.subscriber_id, day)):
+            high = self.network_identifier(device.subscriber_id, day, association)
+            low = policy.iid(self.seed, self.name, device, day)
+            truth = GroundTruth(
+                network=self.name,
+                plan=self.tag,
+                subscriber_id=device.subscriber_id,
+                device_index=device.device_index,
+                iid_policy=policy.name,
+                is_privacy=policy.is_privacy,
+                is_stable_assignment=False,
+            )
+            results.append((addr.from_halves(high, low), truth))
+        return results
+
+    def iid_policy(self, device: Device) -> IidPolicy:
+        return self._pick_policy(device, self._policies, self._weights)
+
+
+class PseudorandomNetidPlan(AddressingPlan):
+    """Pseudorandom network identifiers, the EU-ISP shape (Figure 5f).
+
+    The /64 is: BGP /32 bits, then a constant 0 at bit 40, a 15-bit
+    pseudorandom number at bits 41..55 that the subscriber can rotate
+    (modelled as changing every ``rotate_days``), and an 8-bit value at
+    bits 56..63 drawn from a skewed distribution favouring 0x00/0x01 —
+    exactly the structure the paper posits before the operator confirms
+    it.
+    """
+
+    tag = "pseudorandom-netid"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        prefix: Prefix,
+        rotate_days: int = 7,
+        privacy_share: float = 0.97,
+    ) -> None:
+        super().__init__(name, seed)
+        if prefix.length > 40:
+            raise ValueError("plan needs at least the 40..64 bit span")
+        self.prefix = prefix
+        self.rotate_days = max(1, rotate_days)
+        self._policies: Tuple[IidPolicy, ...] = (PrivacyIid(), Eui64Iid())
+        self._weights = (privacy_share, 1.0 - privacy_share)
+
+    def network_is_stable(self) -> bool:
+        return False
+
+    def _subnet_octet(self, subscriber_id: int) -> int:
+        """The bits-56..63 value: all 256 seen, but most often 0 or 1."""
+        draw = rng.stable_uniform(self.seed, "octet", self.name, subscriber_id)
+        if draw < 0.45:
+            return 0x00
+        if draw < 0.80:
+            return 0x01
+        return rng.stable_u64(self.seed, "octet-tail", self.name, subscriber_id) % 256
+
+    def network_identifier(self, subscriber_id: int, day: int) -> int:
+        period = day // self.rotate_days
+        # Stagger rotation so all subscribers don't change the same day.
+        stagger = rng.stable_u64(self.seed, "stagger", self.name, subscriber_id) % (
+            self.rotate_days
+        )
+        period = (day + stagger) // self.rotate_days
+        random15 = rng.stable_u64(
+            self.seed, "netid", self.name, subscriber_id, period
+        ) % (1 << 15)
+        high = self.prefix.network >> 64
+        high |= random15 << 8  # bits 41..55 (bit 40 stays 0)
+        high |= self._subnet_octet(subscriber_id)  # bits 56..63
+        return high
+
+    def iid_policy(self, device: Device) -> IidPolicy:
+        return self._pick_policy(device, self._policies, self._weights)
+
+
+class UniversityPlan(AddressingPlan):
+    """A /32 with few active subnet values, the US-university shape (2a).
+
+    Only ``subnet_values`` (3 by default, per the operator's confirmed
+    address plan) appear at the first nybble past bit 32; below that a
+    modest number of /64s exist, each holding a handful of
+    privacy-addressed hosts.
+    """
+
+    tag = "university"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        prefix: Prefix,
+        subnet_values: Sequence[int] = (0x1, 0x2, 0x8),
+        lans_per_subnet: int = 64,
+        privacy_share: float = 0.95,
+    ) -> None:
+        super().__init__(name, seed)
+        if prefix.length != 32:
+            raise ValueError("UniversityPlan expects a /32")
+        self.prefix = prefix
+        self.subnet_values = tuple(subnet_values)
+        self.lans_per_subnet = lans_per_subnet
+        self._policies: Tuple[IidPolicy, ...] = (PrivacyIid(), Eui64Iid())
+        self._weights = (privacy_share, 1.0 - privacy_share)
+
+    def network_identifier(self, subscriber_id: int, day: int) -> int:
+        pick = rng.stable_u64(self.seed, "subnet", self.name, subscriber_id)
+        subnet = self.subnet_values[pick % len(self.subnet_values)]
+        lan = (pick >> 8) % self.lans_per_subnet
+        high = self.prefix.network >> 64
+        high |= subnet << 28  # nybble at address bits 32..35
+        high |= lan << 20  # LAN number at address bits 36..43
+        return high
+
+    def iid_policy(self, device: Device) -> IidPolicy:
+        return self._pick_policy(device, self._policies, self._weights)
+
+
+class DenseDhcpPlan(AddressingPlan):
+    """~100 hosts DHCP-packed into one /64, the EU-department shape (5g).
+
+    All hosts live in a single /64; a few subnet tags at address bits
+    72..79 partition them; host numbers are sequential in the final 16
+    bits.  Addresses are static day over day, and multiple 2@/112-dense
+    prefixes result.
+    """
+
+    tag = "dense-dhcp"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        prefix: Prefix,
+        subnet_tags: Sequence[int] = (0x1D, 0x2D),
+        host_base: int = 0x1000,
+    ) -> None:
+        super().__init__(name, seed)
+        if prefix.length != 64:
+            raise ValueError("DenseDhcpPlan expects a /64")
+        self.prefix = prefix
+        self.subnet_tags = tuple(subnet_tags)
+        self.host_base = host_base
+        self._policy = _DenseDhcpIid(self.subnet_tags, host_base)
+
+    def network_identifier(self, subscriber_id: int, day: int) -> int:
+        return self.prefix.network >> 64
+
+    def iid_policy(self, device: Device) -> IidPolicy:
+        return self._policy
+
+
+class _DenseDhcpIid(IidPolicy):
+    """Sequential host numbers under a small set of high-bit tags."""
+
+    name = "dhcpv6"
+
+    def __init__(self, subnet_tags: Sequence[int], host_base: int) -> None:
+        self._tags = tuple(subnet_tags)
+        self._host_base = host_base
+
+    def iid(self, seed: int, network: str, device: Device, day: int) -> int:
+        tag = self._tags[device.subscriber_id % len(self._tags)]
+        host = self._host_base + device.subscriber_id * 2 + device.device_index
+        # Tag at IID bits 48..55 (address bits 72..79), host in the low 16.
+        return (tag << 48) | (host & 0xFFFF)
+
+
+class TelcoStructuredPlan(AddressingPlan):
+    """Static structured hosts plus privacy clients, the JP-telco shape (2b).
+
+    A fraction of subscribers are statically addressed servers/CPE with
+    structured IIDs packed into shared /64s (producing the dense 112–128
+    prominence); the rest are ordinary privacy-addressed clients on their
+    own /64s.
+    """
+
+    tag = "telco-structured"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        prefix: Prefix,
+        static_share: float = 0.8,
+        static_lans: int = 16,
+    ) -> None:
+        super().__init__(name, seed)
+        self.prefix = prefix
+        self.static_share = static_share
+        self.static_lans = static_lans
+        self._privacy = PrivacyIid()
+        self._structured = StructuredIid(tag=0x10)
+
+    def _is_static(self, subscriber_id: int) -> bool:
+        return (
+            rng.stable_uniform(self.seed, "static", self.name, subscriber_id)
+            < self.static_share
+        )
+
+    def network_identifier(self, subscriber_id: int, day: int) -> int:
+        high = self.prefix.network >> 64
+        if self._is_static(subscriber_id):
+            lan = subscriber_id % self.static_lans
+            return high | (0x10 << 16) | (lan << 4) | 0x8
+        draw = rng.stable_u64(self.seed, "lan", self.name, subscriber_id)
+        span_bits = max(1, 64 - self.prefix.length - 16)
+        return high | (0x20 << 16) | (draw % (1 << span_bits))
+
+    def iid_policy(self, device: Device) -> IidPolicy:
+        if self._is_static(device.subscriber_id):
+            return self._structured
+        return self._privacy
+
+
+def make_device(seed: int, network: str, subscriber_id: int, device_index: int) -> Device:
+    """Create a device with a deterministic factory MAC address.
+
+    MACs come from a handful of simulated vendor OUIs with the u/l bit
+    clear (universally administered), so genuine EUI-64 IIDs show u=1
+    after the SLAAC flip.
+    """
+    ouis = (0x001EC2, 0x3C0754, 0xA45E60, 0xD0E140, 0x28CFE9)
+    pick = rng.stable_u64(seed, "mac", network, subscriber_id, device_index)
+    oui = ouis[pick % len(ouis)]
+    nic = (pick >> 16) & 0xFFFFFF
+    return Device(
+        subscriber_id=subscriber_id,
+        device_index=device_index,
+        mac=(oui << 24) | nic,
+    )

@@ -1,0 +1,213 @@
+"""Synthetic address registry: RIR allocations, ASNs and BGP prefixes.
+
+The paper attributes addresses to autonomous systems through BGP origin
+data (6,872 prefixes from 4,420 ASNs in March 2015).  Offline, we model
+the allocation hierarchy ourselves:
+
+* five RIR super-blocks inside ``2000::/3``, mirroring the real registry
+  split (ARIN, RIPE, APNIC, LACNIC, AFRINIC), each handing out
+  provider-sized blocks sequentially with realistic gaps;
+* per-ASN allocations of one or more BGP prefixes whose lengths follow
+  operator practice (/32 for typical ISPs, swarms of /44s or /40s for the
+  mobile carriers of Figure 5e, /48s for enterprises);
+* longest-prefix-match origin lookup, which is all the analysis needs.
+
+The registry is the ground truth the per-ASN figures (5a, 5b) group by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net import addr
+from repro.net.prefix import Prefix
+from repro.sim import rng
+
+
+@dataclass(frozen=True)
+class RirBlock:
+    """One regional registry's super-block."""
+
+    name: str
+    prefix: Prefix
+
+
+#: The five RIR super-blocks (shapes follow IANA's real unicast splits).
+RIR_BLOCKS: Tuple[RirBlock, ...] = (
+    RirBlock("ARIN", Prefix(addr.parse("2600::"), 12)),
+    RirBlock("RIPE", Prefix(addr.parse("2a00::"), 12)),
+    RirBlock("APNIC", Prefix(addr.parse("2400::"), 12)),
+    RirBlock("LACNIC", Prefix(addr.parse("2800::"), 12)),
+    RirBlock("AFRINIC", Prefix(addr.parse("2c00::"), 12)),
+)
+
+_RIR_BY_NAME: Dict[str, RirBlock] = {block.name: block for block in RIR_BLOCKS}
+
+#: Map of simulated countries to their RIR (a small representative set).
+COUNTRY_RIR: Dict[str, str] = {
+    "US": "ARIN",
+    "CA": "ARIN",
+    "DE": "RIPE",
+    "FR": "RIPE",
+    "GB": "RIPE",
+    "NL": "RIPE",
+    "JP": "APNIC",
+    "KR": "APNIC",
+    "AU": "APNIC",
+    "BR": "LACNIC",
+    "AR": "LACNIC",
+    "ZA": "AFRINIC",
+}
+
+
+@dataclass
+class AsnAllocation:
+    """One autonomous system and the BGP prefixes it originates.
+
+    Attributes:
+        asn: the autonomous system number.
+        name: operator label (for reports).
+        country: ISO-ish country code (drives RIR selection).
+        kind: coarse operator category ("mobile", "isp", "university",
+            "telco", "hosting"), used by scenario builders.
+        prefixes: the originated BGP prefixes.
+    """
+
+    asn: int
+    name: str
+    country: str
+    kind: str
+    prefixes: List[Prefix] = field(default_factory=list)
+
+
+class AddressRegistry:
+    """Allocates BGP prefixes to ASNs and answers origin lookups."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.allocations: List[AsnAllocation] = []
+        self._cursor: Dict[str, int] = {block.name: 0 for block in RIR_BLOCKS}
+        # Origin lookup: sorted list of (first, last, allocation index) spans.
+        self._spans: List[Tuple[int, int, int]] = []
+        self._spans_dirty = False
+
+    def allocate(
+        self,
+        name: str,
+        country: str,
+        kind: str,
+        prefix_lengths: Iterable[int],
+        asn: Optional[int] = None,
+    ) -> AsnAllocation:
+        """Allocate BGP prefixes of the given lengths to a new ASN.
+
+        Blocks come sequentially from the country's RIR super-block, with
+        a small deterministic gap after each allocation so the space shows
+        the fragmentation real registries have.
+        """
+        rir_name = COUNTRY_RIR.get(country, "ARIN")
+        block = _RIR_BY_NAME[rir_name]
+        if asn is None:
+            asn = 64512 + len(self.allocations)
+        allocation = AsnAllocation(asn=asn, name=name, country=country, kind=kind)
+        stream = rng.substream(self.seed, "registry", name, country)
+        for length in prefix_lengths:
+            if not block.prefix.length <= length <= 64:
+                raise ValueError(f"unreasonable BGP prefix length: {length}")
+            prefix = self._carve(block, length, stream)
+            allocation.prefixes.append(prefix)
+        self.allocations.append(allocation)
+        self._spans_dirty = True
+        return allocation
+
+    def _carve(self, block: RirBlock, length: int, stream) -> Prefix:
+        """Take the next length-``length`` block from an RIR super-block."""
+        unit = 1 << (128 - length)
+        base = block.prefix.network
+        cursor = self._cursor[block.name]
+        # Align the cursor up to the requested size.
+        offset = -(-cursor // unit) * unit
+        network = base + offset
+        if network + unit - 1 > block.prefix.last:
+            raise RuntimeError(f"RIR block {block.name} exhausted")
+        # Leave a deterministic gap of 0-3 units before the next allocation.
+        gap = stream.randrange(4) * unit
+        self._cursor[block.name] = offset + unit + gap
+        return Prefix(network, length)
+
+    def _rebuild_spans(self) -> None:
+        """Rebuild the sorted span table used by origin lookups."""
+        spans: List[Tuple[int, int, int]] = []
+        for index, allocation in enumerate(self.allocations):
+            for prefix in allocation.prefixes:
+                spans.append((prefix.first, prefix.last, index))
+        spans.sort()
+        self._spans = spans
+        self._spans_dirty = False
+
+    def origin(self, value: int) -> Optional[AsnAllocation]:
+        """Longest-prefix-match origin lookup for one address.
+
+        Allocations never overlap (each is carved from fresh space), so a
+        binary search over the sorted spans suffices.
+        """
+        addr.check_address(value)
+        if self._spans_dirty:
+            self._rebuild_spans()
+        spans = self._spans
+        low, high = 0, len(spans) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            first, last, index = spans[mid]
+            if value < first:
+                high = mid - 1
+            elif value > last:
+                low = mid + 1
+            else:
+                return self.allocations[index]
+        return None
+
+    def origin_prefix(self, value: int) -> Optional[Prefix]:
+        """The BGP prefix covering an address, or None."""
+        allocation = self.origin(value)
+        if allocation is None:
+            return None
+        for prefix in allocation.prefixes:
+            if prefix.contains(value):
+                return prefix
+        return None
+
+    @property
+    def num_asns(self) -> int:
+        """Number of ASNs allocated so far."""
+        return len(self.allocations)
+
+    @property
+    def num_prefixes(self) -> int:
+        """Number of BGP prefixes originated across all ASNs."""
+        return sum(len(allocation.prefixes) for allocation in self.allocations)
+
+    def group_by_asn(
+        self, addresses: Iterable[int]
+    ) -> Dict[int, List[int]]:
+        """Partition addresses by originating ASN (unrouted ones dropped)."""
+        groups: Dict[int, List[int]] = {}
+        for value in addresses:
+            allocation = self.origin(value)
+            if allocation is None:
+                continue
+            groups.setdefault(allocation.asn, []).append(value)
+        return groups
+
+    def group_by_prefix(
+        self, addresses: Iterable[int]
+    ) -> Dict[Prefix, List[int]]:
+        """Partition addresses by covering BGP prefix (unrouted dropped)."""
+        groups: Dict[Prefix, List[int]] = {}
+        for value in addresses:
+            prefix = self.origin_prefix(value)
+            if prefix is None:
+                continue
+            groups.setdefault(prefix, []).append(value)
+        return groups

@@ -1,0 +1,160 @@
+"""Router-interface address corpus (the §4.2 dataset, Table 3's input).
+
+The paper's second dataset is 3.2 million addresses that answered
+TTL-limited probes with ICMP Time Exceeded — router interfaces.  Router
+addressing differs sharply from client addressing, which is why Table 3's
+dense-prefix search works so well on it: operators number infrastructure
+by hand into tightly packed low-IID blocks —
+
+* point-to-point link addresses on /127s (RFC 6164), allocated pairwise
+  and sequentially out of small aggregation blocks;
+* loopbacks numbered ::1, ::2, ... inside one /120-ish block per POP;
+* customer-edge gateway interfaces spread thinly over delegated space.
+
+The simulator emits one corpus per ISP, each with these three strata, and
+keeps the full allocation map so the reverse-DNS simulator can name even
+the interfaces that never answered a probe (the §6.2.3 yield experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net import addr
+from repro.net.prefix import Prefix
+from repro.sim import rng
+
+
+@dataclass
+class RouterInterface:
+    """One router interface: its address, owning router, ISP and role."""
+
+    address: int
+    router_id: str
+    role: str  # "p2p", "loopback", or "edge"
+    isp: str = ""
+
+
+@dataclass
+class RouterCorpus:
+    """All simulated router interfaces, with probe-responsiveness flags.
+
+    ``interfaces`` holds every *allocated* interface; ``responsive``
+    flags the subset that would actually answer a TTL-limited probe
+    (some interfaces filter ICMP), so "observed router addresses" is the
+    responsive subset — the unresponsive remainder is only discoverable
+    via DNS, which drives the §6.2.3 extra-names result.
+    """
+
+    interfaces: List[RouterInterface] = field(default_factory=list)
+    responsive: Dict[int, bool] = field(default_factory=dict)
+
+    def addresses(self) -> List[int]:
+        """All allocated interface addresses."""
+        return [interface.address for interface in self.interfaces]
+
+    def observed_addresses(self) -> List[int]:
+        """The probe-responsive interface addresses (the §4.2 dataset)."""
+        return [
+            interface.address
+            for interface in self.interfaces
+            if self.responsive.get(interface.address, False)
+        ]
+
+    def by_address(self) -> Dict[int, RouterInterface]:
+        """Index the corpus by address."""
+        return {interface.address: interface for interface in self.interfaces}
+
+
+def build_isp_routers(
+    seed: int,
+    isp_name: str,
+    bgp_prefix: Prefix,
+    pops: int = 4,
+    p2p_links_per_pop: int = 48,
+    loopbacks_per_pop: int = 24,
+    edge_routers: int = 64,
+    responsiveness: float = 0.8,
+) -> RouterCorpus:
+    """Build one ISP's router infrastructure inside its BGP prefix.
+
+    Infrastructure lives in the first /48 of the prefix, as operators
+    commonly reserve their initial block for themselves.
+    """
+    corpus = RouterCorpus()
+    infra48 = addr.truncate(bgp_prefix.network, 48)
+
+    def add(address: int, router_id: str, role: str) -> None:
+        corpus.interfaces.append(
+            RouterInterface(
+                address=address, router_id=router_id, role=role, isp=isp_name
+            )
+        )
+        draw = rng.stable_uniform(seed, "resp", isp_name, address)
+        corpus.responsive[address] = draw < responsiveness
+
+    # Heterogeneity: each POP's size varies around the nominal counts
+    # (real operators have hub POPs and tiny ones), and each ISP's
+    # numbering discipline differs in how tightly it packs link blocks —
+    # that variety is what gives Table 3 its spread of densities.
+    for pop in range(pops):
+        size_draw = rng.stable_u64(seed, "popsize", isp_name, pop)
+        size_factor = 0.25 + (size_draw % 1000) / 1000 * 2.5  # 0.25x..2.75x
+        links = max(2, int(p2p_links_per_pop * size_factor))
+        loops = max(2, int(loopbacks_per_pop * size_factor))
+        # Packing stride: 1 = perfectly sequential /127 pairs, larger =
+        # gaps left for growth (sparser /124s).
+        stride = 1 << (rng.stable_u64(seed, "stride", isp_name, pop) % 3)
+
+        # One /64 per POP for p2p links; /127 pairs at the chosen stride.
+        p2p_base = infra48 | (pop << 68) | (0xE << 64)
+        for link in range(links):
+            low = link * 2 * stride
+            add(p2p_base | low, f"{isp_name}-p{pop}-r{link // 4}", "p2p")
+            add(p2p_base | (low + 1), f"{isp_name}-p{pop}-r{link // 4 + 1}", "p2p")
+        # One /120-ish loopback block per POP, numbered from ::1.
+        loop_base = infra48 | (pop << 68) | (0xF << 64)
+        for index in range(loops):
+            add(loop_base | (index + 1), f"{isp_name}-p{pop}-lo{index}", "loopback")
+
+    # Customer-edge gateways: one low-IID interface in spread-out /64s.
+    for edge in range(edge_routers):
+        spread = rng.stable_u64(seed, "edge", isp_name, edge) % (1 << 14)
+        network = (bgp_prefix.network >> 64) | (0x100 + spread)
+        add(
+            addr.from_halves(network, 1),
+            f"{isp_name}-edge{edge}",
+            "edge",
+        )
+    return corpus
+
+
+def build_router_corpus(
+    seed: int,
+    isps: Sequence[Tuple[str, Prefix]],
+    scale: float = 1.0,
+    responsiveness: float = 0.8,
+) -> RouterCorpus:
+    """Build the combined router corpus for many ISPs.
+
+    ``scale`` multiplies the per-ISP interface counts so benchmarks can
+    trade runtime for volume.
+    """
+    combined = RouterCorpus()
+    for isp_name, prefix in isps:
+        # ISPs come in very different sizes; draw a per-ISP footprint.
+        footprint = 0.3 + (rng.stable_u64(seed, "isp-size", isp_name) % 1000) / 400
+        corpus = build_isp_routers(
+            seed,
+            isp_name,
+            prefix,
+            pops=max(1, int(4 * scale * footprint)),
+            p2p_links_per_pop=max(4, int(48 * scale * footprint)),
+            loopbacks_per_pop=max(2, int(24 * scale * footprint)),
+            edge_routers=max(4, int(64 * scale * footprint)),
+            responsiveness=responsiveness,
+        )
+        combined.interfaces.extend(corpus.interfaces)
+        combined.responsive.update(corpus.responsive)
+    return combined

@@ -1,0 +1,144 @@
+"""Subscriber populations and their daily activity model.
+
+The paper's vantage point sees a client address only when the client
+actually fetches CDN-hosted content that day, so observed stability is
+bounded by visit frequency (§5.1: "even a long-lived client address ...
+may appear to be ephemeral").  The activity model therefore matters as
+much as the addressing plans: it is what produces the stepwise decay of
+Figure 4 and the daily-versus-weekly gaps of Table 1.
+
+Subscribers belong to *visit cohorts* — daily, frequent, occasional and
+rare — each with its own per-day visit probability.  Population growth
+between the paper's three epochs (March 2014 → March 2015 roughly doubled
+address counts) is modelled by giving each subscriber a deterministic
+join day, linearly spread, so later days simply see more subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.sim import rng
+from repro.sim.plans import Device, make_device
+
+#: Visit cohorts: (label, share of subscribers, per-day visit probability).
+DEFAULT_COHORTS: Tuple[Tuple[str, float, float], ...] = (
+    ("daily", 0.45, 0.92),
+    ("frequent", 0.30, 0.45),
+    ("occasional", 0.17, 0.15),
+    ("rare", 0.08, 0.03),
+)
+
+
+@dataclass
+class Population:
+    """The subscriber population of one simulated network.
+
+    Attributes:
+        network: the owning network's name (keys random substreams).
+        seed: root simulation seed.
+        size: total subscribers ever (the population at ``end_day``).
+        start_day / end_day: the growth span; at ``start_day`` a
+            ``start_fraction`` share has joined, reaching 100% by
+            ``end_day``.
+        max_devices: upper bound on devices per subscriber.
+        cohorts: visit cohorts (label, share, daily visit probability).
+    """
+
+    network: str
+    seed: int
+    size: int
+    start_day: int = 0
+    end_day: int = 365
+    start_fraction: float = 0.5
+    max_devices: int = 4
+    cohorts: Tuple[Tuple[str, float, float], ...] = DEFAULT_COHORTS
+
+    def __post_init__(self) -> None:
+        # Per-subscriber facts are immutable, so memoize them: the daily
+        # generation loop asks for each subscriber's cohort and devices on
+        # every simulated day.
+        self._cohort_cache: dict = {}
+        self._device_cache: dict = {}
+
+    def joined_count(self, day: int) -> int:
+        """Number of subscribers that have joined by ``day``."""
+        if day >= self.end_day:
+            return self.size
+        span = max(1, self.end_day - self.start_day)
+        fraction = self.start_fraction + (1.0 - self.start_fraction) * (
+            (day - self.start_day) / span
+        )
+        fraction = min(1.0, max(0.0, fraction))
+        return int(round(self.size * fraction))
+
+    def cohort(self, subscriber_id: int) -> Tuple[str, float]:
+        """The (label, daily visit probability) of one subscriber."""
+        cached = self._cohort_cache.get(subscriber_id)
+        if cached is not None:
+            return cached
+        draw = rng.stable_uniform(self.seed, "cohort", self.network, subscriber_id)
+        cumulative = 0.0
+        result = None
+        for label, share, probability in self.cohorts:
+            cumulative += share
+            if draw < cumulative:
+                result = (label, probability)
+                break
+        if result is None:
+            label, _share, probability = self.cohorts[-1]
+            result = (label, probability)
+        self._cohort_cache[subscriber_id] = result
+        return result
+
+    def device_count(self, subscriber_id: int) -> int:
+        """How many devices this subscriber owns (1..max_devices)."""
+        draw = rng.stable_u64(self.seed, "devices", self.network, subscriber_id)
+        return 1 + draw % self.max_devices
+
+    def devices(self, subscriber_id: int) -> List[Device]:
+        """The subscriber's devices, with deterministic MACs."""
+        cached = self._device_cache.get(subscriber_id)
+        if cached is not None:
+            return cached
+        result = [
+            make_device(self.seed, self.network, subscriber_id, index)
+            for index in range(self.device_count(subscriber_id))
+        ]
+        self._device_cache[subscriber_id] = result
+        return result
+
+    def is_active(self, subscriber_id: int, day: int) -> bool:
+        """Did this subscriber visit the CDN on ``day``?"""
+        if subscriber_id >= self.joined_count(day):
+            return False
+        _label, probability = self.cohort(subscriber_id)
+        draw = rng.stable_uniform(
+            self.seed, "visit", self.network, subscriber_id, day
+        )
+        return draw < probability
+
+    def active_subscribers(self, day: int) -> Iterator[int]:
+        """Yield the ids of subscribers active on ``day``."""
+        for subscriber_id in range(self.joined_count(day)):
+            if self.is_active(subscriber_id, day):
+                yield subscriber_id
+
+    def device_is_active(self, device: Device, day: int) -> bool:
+        """Did this particular device generate traffic on ``day``?
+
+        The subscriber's first device always does (someone triggered the
+        visit); extra devices each join with probability 0.75.
+        """
+        if device.device_index == 0:
+            return True
+        draw = rng.stable_uniform(
+            self.seed,
+            "device-visit",
+            self.network,
+            device.subscriber_id,
+            device.device_index,
+            day,
+        )
+        return draw < 0.75

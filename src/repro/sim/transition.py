@@ -1,0 +1,141 @@
+"""Transition-mechanism client populations: 6to4, Teredo, ISATAP.
+
+Table 1 reports these three mechanisms separately before culling them,
+and Figure 5d shows the 6to4 MRA plot whose 16–48 bit segment is the
+embedded IPv4 address — "essentially that which Kohler et al. studied
+years ago".  To reproduce those shapes we synthesize:
+
+* **6to4** (``2002:V4::/48``): the client's IPv4 address lands in bits
+  16..47.  IPv4 addresses are drawn from a clustered allocation model
+  (a set of /8-to-/16-sized ISP blocks with dense low halves) so the
+  embedded segment shows IPv4-like aggregation structure.
+* **Teredo** (``2001:0:S:F:P:C``): server IPv4 from a handful of public
+  relays, flags, obfuscated port and client IPv4 (XOR ~).
+* **ISATAP**: an enterprise /64 with IID ``[02]00:5efe:V4``, where the
+  IPv4 is usually RFC1918 space.
+
+Volumes relative to native traffic are set by the scenario configs to
+follow Table 1's shares (6to4 a few percent and shrinking, Teredo and
+ISATAP negligible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.net import addr
+from repro.sim import rng
+
+#: Simulated IPv4 ISP blocks feeding 6to4: (base, prefix length).
+IPV4_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (0x18000000, 8),   # 24.0.0.0/8   cable
+    (0x3E000000, 9),   # 62.0.0.0/9   eu isp
+    (0x50800000, 10),  # 80.128.0.0/10
+    (0x5BC00000, 12),  # 91.192.0.0/12
+    (0x7B400000, 11),  # 123.64.0.0/11 apnic
+    (0xB9000000, 13),  # 185.0.0.0/13
+)
+
+#: Well-known Teredo server IPv4 addresses (a small set, as in practice).
+TEREDO_SERVERS: Tuple[int, ...] = (
+    0x41C06006,  # 65.192.96.6
+    0x53EF0C35,  # 83.239.12.53
+    0xD945AB0C,  # 217.69.171.12
+)
+
+
+def _clustered_ipv4(seed: int, key: str, index: int) -> int:
+    """Draw an IPv4 address clustered into the simulated ISP blocks.
+
+    Low bits are biased dense (many hosts share block low halves), giving
+    the embedded-IPv4 segment of Figure 5d its aggregation profile.
+    """
+    pick = rng.stable_u64(seed, "v4block", key, index)
+    base, length = IPV4_BLOCKS[pick % len(IPV4_BLOCKS)]
+    host_bits = 32 - length
+    # Square a uniform draw to bias toward the low end of the block.
+    uniform = rng.stable_uniform(seed, "v4host", key, index)
+    offset = int((uniform * uniform) * ((1 << host_bits) - 1))
+    return base | offset
+
+
+@dataclass
+class TransitionConfig:
+    """Population sizes for the three transition mechanisms."""
+
+    sixto4_clients: int = 0
+    teredo_clients: int = 0
+    isatap_clients: int = 0
+    name: str = "transition"
+
+
+def sixto4_address(seed: int, client_index: int, day: int) -> int:
+    """One 6to4 client's address for a day.
+
+    40% of clients sit behind dynamically assigned IPv4 (a fresh address,
+    hence a fresh 6to4 /48, each day — why the paper sees weekly 6to4
+    counts several times the daily ones); the rest keep a fixed IPv4.
+    The IID mimics a home-router population: mostly low IIDs (the 6to4
+    router itself) with some privacy hosts regenerating daily.
+    """
+    dynamic_v4 = rng.stable_uniform(seed, "6to4-dyn", client_index) < 0.4
+    v4_key = client_index * 1000 + day if dynamic_v4 else client_index
+    ipv4 = _clustered_ipv4(seed, "6to4", v4_key)
+    high = (0x2002 << 48) | (ipv4 << 16)  # subnet 0 within the /48
+    style = rng.stable_u64(seed, "6to4-style", client_index) % 10
+    if style < 6:
+        low = 1  # conventional router address 2002:V4::1
+    elif style < 8:
+        low = 0x0200 << 48 | ipv4  # IPv4-derived IID convention
+    else:
+        low = rng.stable_u64(seed, "6to4-priv", client_index, day) & ~(1 << 57)
+    return addr.from_halves(high, low)
+
+
+def teredo_address(seed: int, client_index: int, day: int) -> int:
+    """One Teredo client's address for a day (RFC 4380 layout).
+
+    NAT mappings churn, so the obfuscated port varies per day.
+    """
+    server = TEREDO_SERVERS[
+        rng.stable_u64(seed, "teredo-server", client_index) % len(TEREDO_SERVERS)
+    ]
+    client_v4 = _clustered_ipv4(seed, "teredo", client_index)
+    port = 1024 + rng.stable_u64(seed, "teredo-port", client_index, day) % 60000
+    flags = 0x8000  # cone NAT
+    high = (0x20010000 << 32) | server
+    low = (flags << 48) | ((port ^ 0xFFFF) << 32) | (client_v4 ^ 0xFFFFFFFF)
+    return addr.from_halves(high, low)
+
+
+def isatap_address(seed: int, client_index: int, day: int) -> int:
+    """One ISATAP host address (enterprise /64 + ``5efe`` IID)."""
+    site = rng.stable_u64(seed, "isatap-site", client_index) % 64
+    high = (addr.parse("2001:db8:100::") >> 64) | site
+    # RFC1918 10.0.0.0/8 host address embedded in the IID.
+    ipv4 = 0x0A000000 | rng.stable_u64(seed, "isatap-v4", client_index) % (1 << 24)
+    low = (0x0000_5EFE << 32) | ipv4
+    return addr.from_halves(high, low)
+
+
+def generate_transition_day(
+    seed: int, config: TransitionConfig, day: int, activity: float = 0.5
+) -> List[int]:
+    """All transition-mechanism client addresses active on one day.
+
+    Each client independently appears with probability ``activity``,
+    keyed deterministically, so days overlap realistically.
+    """
+    addresses: List[int] = []
+    populations = (
+        ("6to4", config.sixto4_clients, sixto4_address),
+        ("teredo", config.teredo_clients, teredo_address),
+        ("isatap", config.isatap_clients, isatap_address),
+    )
+    for label, count, generator in populations:
+        for index in range(count):
+            draw = rng.stable_uniform(seed, "transition-act", label, index, day)
+            if draw < activity:
+                addresses.append(generator(seed, index, day))
+    return addresses

@@ -1,0 +1,31 @@
+"""Patricia/radix tree substrate and aguri-style aggregation operations."""
+
+from repro.trie.aguri import (
+    aguri_aggregate,
+    addresses_in_dense_prefixes,
+    build_tree,
+    compute_dense_prefixes,
+    dense_prefixes,
+    dense_prefixes_fixed,
+    densify,
+    density_threshold,
+    profile,
+)
+from repro.trie.radix import RadixNode, RadixTree
+from repro.trie.render import render_dense, render_tree
+
+__all__ = [
+    "RadixNode",
+    "RadixTree",
+    "addresses_in_dense_prefixes",
+    "aguri_aggregate",
+    "build_tree",
+    "compute_dense_prefixes",
+    "dense_prefixes",
+    "dense_prefixes_fixed",
+    "densify",
+    "density_threshold",
+    "profile",
+    "render_dense",
+    "render_tree",
+]

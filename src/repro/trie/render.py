@@ -1,0 +1,101 @@
+"""Aguri-style text rendering of aggregation trees.
+
+The original aguri tool prints its profile as an indented tree: each
+kept prefix on one line, indented by its depth under the previously
+printed ancestor, with its count and share of the total.  This module
+reproduces that output for :class:`~repro.trie.radix.RadixTree`
+instances after :func:`~repro.trie.aguri.aguri_aggregate` or
+:func:`~repro.trie.aguri.densify`, e.g.::
+
+    %total  count  prefix
+     100.0%   200  ::/0
+      45.0%    90    2001:db8::/32
+      30.0%    60      2001:db8:1::/48
+      25.0%    50    2a00:100::/32
+
+Useful for eyeballing aggregation results and for diffing profiles in
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net import addr
+from repro.trie.radix import RadixNode, RadixTree
+
+
+def render_tree(
+    tree: RadixTree,
+    min_count: int = 1,
+    show_share: bool = True,
+) -> str:
+    """Render the counted nodes of a tree as an aguri-style profile.
+
+    Nodes with counts below ``min_count`` are skipped (their counts were
+    either aggregated away or they are sparse leaves the caller does not
+    care about); indentation reflects prefix nesting among the *printed*
+    nodes, as in aguri.
+    """
+    total = tree.total_count
+    lines: List[str] = []
+    header = "%total   count  prefix" if show_share else "  count  prefix"
+    lines.append(header)
+
+    # Pre-order traversal tracking the stack of printed ancestors.
+    stack: List[Tuple[RadixNode, int]] = [(tree.root, 0)]
+    printed_ancestors: List[Tuple[int, int, int]] = []  # (network, length, depth)
+    entries: List[Tuple[RadixNode, int]] = []
+
+    def depth_for(node: RadixNode) -> int:
+        while printed_ancestors:
+            network, length, depth = printed_ancestors[-1]
+            if (
+                length <= node.length
+                and addr.truncate(node.network, length) == network
+                and not (network == node.network and length == node.length)
+            ):
+                return depth + 1
+            printed_ancestors.pop()
+        return 0
+
+    # Collect nodes in pre-order (sorted traversal: left before right).
+    order: List[RadixNode] = []
+    walk: List[RadixNode] = [tree.root]
+    while walk:
+        node = walk.pop()
+        order.append(node)
+        if node.right is not None:
+            walk.append(node.right)
+        if node.left is not None:
+            walk.append(node.left)
+
+    for node in order:
+        if node.count < min_count:
+            continue
+        depth = depth_for(node)
+        printed_ancestors.append((node.network, node.length, depth))
+        prefix_text = f"{addr.format_address(node.network)}/{node.length}"
+        indent = "  " * depth
+        if show_share:
+            share = node.count / total if total else 0.0
+            lines.append(f"{share:6.1%}  {node.count:6d}  {indent}{prefix_text}")
+        else:
+            lines.append(f"{node.count:7d}  {indent}{prefix_text}")
+    return "\n".join(lines)
+
+
+def render_dense(
+    dense: List[Tuple[int, int, int]], title: Optional[str] = None
+) -> str:
+    """Render a dense-prefix list as plain sorted lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for network, length, count in sorted(dense):
+        lines.append(
+            f"  {addr.format_address(network)}/{length}  ({count} addrs)"
+        )
+    if not dense:
+        lines.append("  (none)")
+    return "\n".join(lines)

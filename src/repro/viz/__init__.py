@@ -1,0 +1,31 @@
+"""Visualization: MRA plots, CCDFs and box summaries as data + ASCII."""
+
+from repro.viz.ascii import AsciiChart, Series
+from repro.viz.boxplot import BoxStats, render_ascii as render_boxplot, segment_box_stats
+from repro.viz.ccdf import CcdfPlot, ccdf_points, per_asn_counts
+from repro.viz.export import (
+    read_series_csv,
+    write_boxstats_csv,
+    write_ccdf_csv,
+    write_mra_csv,
+    write_series_csv,
+)
+from repro.viz.mra_plot import MraPlot, mra_plot
+
+__all__ = [
+    "AsciiChart",
+    "BoxStats",
+    "CcdfPlot",
+    "MraPlot",
+    "Series",
+    "ccdf_points",
+    "mra_plot",
+    "per_asn_counts",
+    "read_series_csv",
+    "render_boxplot",
+    "segment_box_stats",
+    "write_boxstats_csv",
+    "write_ccdf_csv",
+    "write_mra_csv",
+    "write_series_csv",
+]

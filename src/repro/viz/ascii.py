@@ -1,0 +1,130 @@
+"""Minimal ASCII chart rendering for terminal-friendly figures.
+
+The benchmarks regenerate every figure of the paper as *data series*; this
+module renders those series as text so the shapes are inspectable without
+a plotting stack (matplotlib is not available offline).  Log scales are
+supported on both axes, since every figure in the paper uses at least one.
+
+The renderer is intentionally small: plot points onto a character grid,
+one marker per series, with axis annotations.  The benchmark output files
+embed these charts next to the numeric rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+#: Markers assigned to successive series.
+MARKERS = "*o+x#@%"
+
+
+@dataclass
+class Series:
+    """One plottable series: a label and its (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]]
+
+
+@dataclass
+class AsciiChart:
+    """A character-grid chart with optional log axes.
+
+    Attributes:
+        width / height: interior plot size in characters.
+        log_x / log_y: use logarithmic scaling on that axis.
+        title: printed above the grid.
+    """
+
+    width: int = 72
+    height: int = 20
+    log_x: bool = False
+    log_y: bool = False
+    title: str = ""
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(self, label: str, points: Sequence[Tuple[float, float]]) -> None:
+        """Add one series (points with non-positive values on a log axis
+        are dropped at render time)."""
+        self.series.append(Series(label=label, points=list(points)))
+
+    def _transform(self, value: float, log_scale: bool) -> Optional[float]:
+        if log_scale:
+            if value <= 0:
+                return None
+            return math.log10(value)
+        return value
+
+    def _bounds(self) -> Optional[Tuple[float, float, float, float]]:
+        xs: List[float] = []
+        ys: List[float] = []
+        for series in self.series:
+            for x, y in series.points:
+                tx = self._transform(x, self.log_x)
+                ty = self._transform(y, self.log_y)
+                if tx is not None and ty is not None:
+                    xs.append(tx)
+                    ys.append(ty)
+        if not xs:
+            return None
+        min_x, max_x = min(xs), max(xs)
+        min_y, max_y = min(ys), max(ys)
+        if max_x == min_x:
+            max_x = min_x + 1.0
+        if max_y == min_y:
+            max_y = min_y + 1.0
+        return min_x, max_x, min_y, max_y
+
+    def render(self) -> str:
+        """Render the chart to a multi-line string."""
+        bounds = self._bounds()
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        if bounds is None:
+            lines.append("(no data)")
+            return "\n".join(lines)
+        min_x, max_x, min_y, max_y = bounds
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        for index, series in enumerate(self.series):
+            marker = MARKERS[index % len(MARKERS)]
+            for x, y in series.points:
+                tx = self._transform(x, self.log_x)
+                ty = self._transform(y, self.log_y)
+                if tx is None or ty is None:
+                    continue
+                column = int((tx - min_x) / (max_x - min_x) * (self.width - 1))
+                row = int((ty - min_y) / (max_y - min_y) * (self.height - 1))
+                grid[self.height - 1 - row][column] = marker
+
+        def axis_label(value: float, log_scale: bool) -> str:
+            real = 10**value if log_scale else value
+            if real != 0 and (abs(real) >= 1e5 or abs(real) < 1e-3):
+                return f"{real:.1e}"
+            return f"{real:g}"
+
+        top_label = axis_label(max_y, self.log_y)
+        bottom_label = axis_label(min_y, self.log_y)
+        margin = max(len(top_label), len(bottom_label)) + 1
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                prefix = top_label.rjust(margin)
+            elif row_index == self.height - 1:
+                prefix = bottom_label.rjust(margin)
+            else:
+                prefix = " " * margin
+            lines.append(f"{prefix}|{''.join(row)}")
+        lines.append(" " * margin + "+" + "-" * self.width)
+        left = axis_label(min_x, self.log_x)
+        right = axis_label(max_x, self.log_x)
+        padding = self.width - len(left) - len(right)
+        lines.append(" " * (margin + 1) + left + " " * max(1, padding) + right)
+        legend = "   ".join(
+            f"{MARKERS[index % len(MARKERS)]} {series.label}"
+            for index, series in enumerate(self.series)
+        )
+        lines.append(" " * (margin + 1) + legend)
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Box-plot statistics for Figure 5b.
+
+Figure 5b shows, for each of the eight 16-bit segments, the distribution
+of that segment's MRA count ratio across all active BGP prefixes — an
+unusual box plot marking the median, middle 50%, middle 90% and the
+absolute maximum.  This module computes those five-number-plus summaries
+and renders them as ASCII columns on the paper's log-2 axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The paper's box summary for one segment's ratio distribution."""
+
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BoxStats":
+        """Compute the summary from raw ratios (must be non-empty)."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            raise ValueError("cannot summarize an empty distribution")
+        p5, p25, median, p75, p95 = np.percentile(array, [5, 25, 50, 75, 95])
+        return cls(
+            p5=float(p5),
+            p25=float(p25),
+            median=float(median),
+            p75=float(p75),
+            p95=float(p95),
+            maximum=float(array.max()),
+        )
+
+
+def segment_box_stats(matrix: np.ndarray) -> List[BoxStats]:
+    """Per-segment box summaries from a (prefixes x 8) ratio matrix.
+
+    ``matrix`` comes from :func:`repro.core.mra.segment_ratio_matrix`;
+    column j covers bits 16j..16j+15.
+    """
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D ratio matrix")
+    return [BoxStats.from_values(matrix[:, column]) for column in range(matrix.shape[1])]
+
+
+def render_ascii(stats: List[BoxStats], height: int = 20) -> str:
+    """Render segment box plots as ASCII columns on a log-2 y axis.
+
+    Glyphs: ``=`` spans the middle 50%, ``|`` the middle 90%, ``-`` the
+    median, and ``^`` the maximum — a textual rendition of Figure 5b.
+    """
+    max_exp = 16.0  # log2(65536)
+
+    def row_for(value: float) -> int:
+        clamped = max(1.0, min(value, 65536.0))
+        return int(round(math.log2(clamped) / max_exp * (height - 1)))
+
+    columns: List[List[str]] = []
+    for box in stats:
+        column = [" "] * height
+        for row in range(row_for(box.p5), row_for(box.p95) + 1):
+            column[row] = "|"
+        for row in range(row_for(box.p25), row_for(box.p75) + 1):
+            column[row] = "="
+        column[row_for(box.median)] = "-"
+        column[row_for(box.maximum)] = "^"
+        columns.append(column)
+
+    width_per = 8
+    lines: List[str] = []
+    for row in range(height - 1, -1, -1):
+        label = f"{2 ** (row / (height - 1) * max_exp):>9.0f}" if row in (
+            0,
+            height - 1,
+            (height - 1) // 2,
+        ) else " " * 9
+        cells = "".join(col[row].center(width_per) for col in columns)
+        lines.append(f"{label}|{cells}")
+    lines.append(" " * 9 + "+" + "-" * (width_per * len(columns)))
+    segment_labels = "".join(
+        f"{16 * index}-{16 * (index + 1)}".center(width_per)
+        for index in range(len(columns))
+    )
+    lines.append(" " * 10 + segment_labels)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""CCDF plotting helpers for Figures 3 and 5a.
+
+Both figures plot complementary CDFs on log-log axes: Figure 3 over
+aggregate populations, Figure 5a over per-ASN counts.  This module builds
+the step series from raw counts and renders multi-series ASCII panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.viz.ascii import AsciiChart
+
+
+def ccdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Build CCDF step points P(X >= x) from raw values.
+
+    One point per distinct value: (value, fraction of samples >= value).
+    """
+    if len(values) == 0:
+        return []
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    total = ordered.shape[0]
+    unique, first_index = np.unique(ordered, return_index=True)
+    return [
+        (float(value), float(total - start) / total)
+        for value, start in zip(unique, first_index)
+    ]
+
+
+@dataclass
+class CcdfPlot:
+    """A multi-series CCDF panel (log-log)."""
+
+    title: str
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def add(self, label: str, values: Sequence[float]) -> None:
+        """Add one series from raw values."""
+        self.series[label] = ccdf_points(values)
+
+    def add_points(self, label: str, points: List[Tuple[float, float]]) -> None:
+        """Add one series from precomputed (x, ccdf) points."""
+        self.series[label] = points
+
+    def proportion_at_least(self, label: str, x: float) -> float:
+        """Read P(X >= x) off one series (0 when x beyond the tail)."""
+        best = 0.0
+        for value, proportion in self.series.get(label, []):
+            if value <= x:
+                best = proportion
+            else:
+                break
+        # Points are (value, P(X >= value)); for x between points the
+        # proportion is that of the next point at or above x.
+        result = 0.0
+        for value, proportion in self.series.get(label, []):
+            if value >= x:
+                result = proportion
+                break
+        return result if result else best if x <= 1 else 0.0
+
+    def render_ascii(self, width: int = 72, height: int = 18) -> str:
+        """Render all series on one log-log ASCII chart."""
+        chart = AsciiChart(
+            width=width, height=height, log_x=True, log_y=True, title=self.title
+        )
+        for label, points in self.series.items():
+            chart.add_series(label, points)
+        return chart.render()
+
+
+def per_asn_counts(groups: Dict[int, List[int]]) -> List[float]:
+    """Turn an ASN → addresses mapping into per-ASN counts for Figure 5a."""
+    return [float(len(addresses)) for addresses in groups.values()]

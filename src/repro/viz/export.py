@@ -1,0 +1,83 @@
+"""CSV export of figure data for external plotting stacks.
+
+The ASCII renderings are self-contained, but anyone regenerating the
+paper's figures in matplotlib/gnuplot wants the raw series.  Every plot
+object in :mod:`repro.viz` exports here to a simple CSV (no quoting
+needed: all fields are numbers or bare labels).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.viz.boxplot import BoxStats
+from repro.viz.ccdf import CcdfPlot
+from repro.viz.mra_plot import MraPlot
+
+
+def write_mra_csv(plot: MraPlot, path: str) -> None:
+    """Write an MRA plot's three series: p, ratio16, ratio4, ratio1.
+
+    The 16- and 4-bit values repeat across their segments (step form),
+    matching :meth:`MraPlot.rows`.
+    """
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["prefix_len", "ratio_16bit", "ratio_4bit", "ratio_1bit"])
+        for p, r16, r4, r1 in plot.rows():
+            writer.writerow([p, f"{r16:.6g}", f"{r4:.6g}", f"{r1:.6g}"])
+
+
+def write_ccdf_csv(plot: CcdfPlot, path: str) -> None:
+    """Write a CCDF plot's series as (series, x, proportion) rows."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "ccdf"])
+        for label, points in plot.series.items():
+            for x, proportion in points:
+                writer.writerow([label, f"{x:.6g}", f"{proportion:.6g}"])
+
+
+def write_boxstats_csv(stats: Sequence[BoxStats], path: str) -> None:
+    """Write Figure-5b-style box summaries, one row per 16-bit segment."""
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["segment_start", "p5", "p25", "median", "p75", "p95", "max"]
+        )
+        for index, box in enumerate(stats):
+            writer.writerow(
+                [
+                    16 * index,
+                    f"{box.p5:.6g}",
+                    f"{box.p25:.6g}",
+                    f"{box.median:.6g}",
+                    f"{box.p75:.6g}",
+                    f"{box.p95:.6g}",
+                    f"{box.maximum:.6g}",
+                ]
+            )
+
+
+def write_series_csv(
+    path: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+) -> None:
+    """Generic numeric-series writer for ad hoc exports."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def read_series_csv(path: str) -> Tuple[List[str], List[List[str]]]:
+    """Read back a CSV written by the functions above (header, rows)."""
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]

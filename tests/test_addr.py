@@ -1,0 +1,221 @@
+"""Unit tests for repro.net.addr: parsing, formatting, accessors."""
+
+import pytest
+
+from repro.net import addr
+from repro.net.addr import AddressError, IPv6Address
+
+
+class TestParse:
+    def test_full_form(self):
+        value = addr.parse("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert value == 0x20010DB8000000000000000000000001
+
+    def test_compressed_middle(self):
+        assert addr.parse("2001:db8::1") == 0x20010DB8000000000000000000000001
+
+    def test_compressed_leading(self):
+        assert addr.parse("::1") == 1
+
+    def test_compressed_trailing(self):
+        assert addr.parse("1::") == 1 << 112
+
+    def test_all_zeros(self):
+        assert addr.parse("::") == 0
+
+    def test_embedded_ipv4(self):
+        assert addr.parse("::ffff:192.0.2.1") == (0xFFFF << 32) | 0xC0000201
+
+    def test_embedded_ipv4_with_groups(self):
+        value = addr.parse("64:ff9b::192.0.2.33")
+        assert value & 0xFFFFFFFF == 0xC0000221
+        assert value >> 96 == 0x0064FF9B
+
+    def test_case_insensitive(self):
+        assert addr.parse("2001:DB8::A") == addr.parse("2001:db8::a")
+
+    def test_whitespace_stripped(self):
+        assert addr.parse("  2001:db8::1  ") == addr.parse("2001:db8::1")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            ":::",
+            "2001:db8",
+            "2001:db8::1::2",
+            "2001:db8:0:0:0:0:0:0:1",
+            "g001:db8::1",
+            "2001:db8::12345",
+            "2001:db8::1%eth0",
+            "1.2.3.4",
+            "::192.0.2.256",
+            "::192.0.2",
+            "2001:db8:::1",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            addr.parse(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(AddressError):
+            addr.parse(12345)  # type: ignore[arg-type]
+
+    def test_double_colon_must_compress_something(self):
+        # All 8 groups present plus "::" is invalid.
+        with pytest.raises(AddressError):
+            addr.parse("1:2:3:4::5:6:7:8")
+
+
+class TestFormat:
+    def test_canonical_compression(self):
+        assert addr.format_address(0x20010DB8000000000000000000000001) == "2001:db8::1"
+
+    def test_no_compression_of_single_zero_group(self):
+        value = addr.parse("2001:db8:0:1:1:1:1:1")
+        assert addr.format_address(value) == "2001:db8:0:1:1:1:1:1"
+
+    def test_leftmost_longest_run_wins(self):
+        value = addr.parse("2001:0:0:1:0:0:0:1")
+        assert addr.format_address(value) == "2001:0:0:1::1"
+
+    def test_tie_breaks_left(self):
+        value = addr.parse("2001:0:0:1:1:0:0:1")
+        assert addr.format_address(value) == "2001::1:1:0:0:1"
+
+    def test_all_zero(self):
+        assert addr.format_address(0) == "::"
+
+    def test_trailing_zeros(self):
+        assert addr.format_address(0x20010DB8 << 96) == "2001:db8::"
+
+    def test_lowercase(self):
+        formatted = addr.format_address(addr.parse("2001:DB8::ABCD"))
+        assert formatted == formatted.lower()
+
+    def test_format_full_fixed_width(self):
+        full = addr.format_full(addr.parse("2001:db8::1"))
+        assert full == "2001:0db8:0000:0000:0000:0000:0000:0001"
+
+    def test_format_hex32(self):
+        assert addr.format_hex32(1) == "0" * 31 + "1"
+        assert len(addr.format_hex32(addr.MAX_ADDRESS)) == 32
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            addr.format_address(1 << 128)
+        with pytest.raises(AddressError):
+            addr.format_address(-1)
+
+
+class TestAccessors:
+    def test_halves(self):
+        value = addr.parse("2001:db8:1:2:3:4:5:6")
+        assert addr.high64(value) == 0x2001_0DB8_0001_0002
+        assert addr.low64(value) == 0x0003_0004_0005_0006
+        assert addr.from_halves(addr.high64(value), addr.low64(value)) == value
+
+    def test_from_halves_range_checks(self):
+        with pytest.raises(AddressError):
+            addr.from_halves(1 << 64, 0)
+        with pytest.raises(AddressError):
+            addr.from_halves(0, -1)
+
+    def test_bit_numbering_msb_first(self):
+        value = addr.parse("8000::")
+        assert addr.bit(value, 0) == 1
+        assert addr.bit(value, 1) == 0
+        assert addr.bit(addr.parse("::1"), 127) == 1
+
+    def test_u_bit_position(self):
+        # Bit 70 of the address is IID bit 6: set it and check.
+        value = 1 << (127 - 70)
+        assert addr.bit(value, 70) == 1
+
+    def test_nybble(self):
+        value = addr.parse("2001:db8::")
+        assert addr.nybble(value, 0) == 0x2
+        assert addr.nybble(value, 3) == 0x1
+        assert addr.nybble(value, 4) == 0x0
+        assert addr.nybble(value, 5) == 0xD
+
+    def test_segment16(self):
+        value = addr.parse("2001:db8:aaaa:bbbb:cccc:dddd:eeee:ffff")
+        assert addr.segment16(value, 0) == 0x2001
+        assert addr.segment16(value, 7) == 0xFFFF
+
+    def test_truncate(self):
+        value = addr.parse("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff")
+        assert addr.truncate(value, 32) == addr.parse("2001:db8::")
+        assert addr.truncate(value, 0) == 0
+        assert addr.truncate(value, 128) == value
+
+    def test_prefix_bits(self):
+        value = addr.parse("2001:db8::")
+        assert addr.prefix_bits(value, 16) == 0x2001
+        assert addr.prefix_bits(value, 0) == 0
+
+    def test_common_prefix_len(self):
+        a = addr.parse("2001:db8::1")
+        b = addr.parse("2001:db8::2")
+        assert addr.common_prefix_len(a, b) == 126
+        assert addr.common_prefix_len(a, a) == 128
+        assert addr.common_prefix_len(0, 1 << 127) == 0
+
+
+class TestIPv6AddressClass:
+    def test_construct_from_string_int_and_copy(self):
+        a = IPv6Address("2001:db8::1")
+        b = IPv6Address(a.value)
+        c = IPv6Address(a)
+        assert a == b == c
+
+    def test_str_and_repr(self):
+        a = IPv6Address("2001:db8::1")
+        assert str(a) == "2001:db8::1"
+        assert "2001:db8::1" in repr(a)
+
+    def test_ordering_matches_numeric(self):
+        low = IPv6Address("2001:db8::1")
+        high = IPv6Address("2001:db8::2")
+        assert low < high <= high
+        assert high > low >= low
+
+    def test_compare_with_int(self):
+        assert IPv6Address("::1") == 1
+        assert IPv6Address("::1") < 2
+
+    def test_hashable_and_usable_in_sets(self):
+        s = {IPv6Address("::1"), IPv6Address("::1"), IPv6Address("::2")}
+        assert len(s) == 2
+
+    def test_int_conversion(self):
+        assert int(IPv6Address("::ff")) == 255
+        assert hex(IPv6Address("::ff")) == "0xff"  # __index__
+
+    def test_iid_accessors(self):
+        a = IPv6Address("2001:db8::dead:beef")
+        assert a.iid == 0xDEADBEEF
+        assert a.low == a.iid
+        assert a.high == 0x20010DB8_0000_0000
+
+    def test_truncate_returns_new_address(self):
+        a = IPv6Address("2001:db8::1")
+        t = a.truncate(32)
+        assert str(t) == "2001:db8::"
+        assert str(a) == "2001:db8::1"
+
+
+class TestAdapters:
+    def test_addresses_to_ints_mixed(self):
+        values = addr.addresses_to_ints(["::1", 2, IPv6Address("::3")])
+        assert values == [1, 2, 3]
+
+    def test_iter_formatted(self):
+        assert list(addr.iter_formatted([1, 2])) == ["::1", "::2"]
+
+    def test_split_halves(self):
+        highs, lows = addr.split_halves([addr.parse("2001:db8::5")])
+        assert highs == [0x20010DB8 << 32]
+        assert lows == [5]

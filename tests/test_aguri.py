@@ -1,0 +1,185 @@
+"""Unit tests for repro.trie.aguri: densify and aguri aggregation."""
+
+import pytest
+
+from repro.net import addr
+from repro.trie import (
+    addresses_in_dense_prefixes,
+    aguri_aggregate,
+    build_tree,
+    compute_dense_prefixes,
+    dense_prefixes_fixed,
+    density_threshold,
+    profile,
+)
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+class TestDensityThreshold:
+    def test_at_target_length(self):
+        assert density_threshold(2, 112, 112) == 2
+
+    def test_shorter_prefix_needs_more(self):
+        # A /104 spans 256x the addresses of a /112.
+        assert density_threshold(2, 112, 104) == 2 * 256
+
+    def test_longer_prefix_needs_fewer_but_at_least_one(self):
+        assert density_threshold(2, 112, 120) == 1
+        assert density_threshold(64, 112, 117) == 2  # ceil(64/32)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            density_threshold(0, 112, 112)
+
+
+class TestPaperExample:
+    """§5.2.2's worked example: 2001:db8::1 and 2001:db8::4 active."""
+
+    ADDRS = [p("2001:db8::1"), p("2001:db8::4")]
+
+    def test_sole_dense_112_fixed(self):
+        dense = dense_prefixes_fixed(self.ADDRS, 2, 112)
+        assert dense == [(p("2001:db8::"), 112, 2)]
+
+    def test_sole_dense_125(self):
+        dense = dense_prefixes_fixed(self.ADDRS, 2, 125)
+        assert dense == [(p("2001:db8::"), 125, 2)]
+
+    def test_no_dense_126(self):
+        assert dense_prefixes_fixed(self.ADDRS, 2, 126) == []
+
+    def test_general_densify_finds_branch_point(self):
+        dense = compute_dense_prefixes(self.ADDRS, 2, 112)
+        assert dense == [(p("2001:db8::"), 125, 2)]
+
+    def test_widen_to_class_length(self):
+        dense = compute_dense_prefixes(self.ADDRS, 2, 112, widen=True)
+        assert dense == [(p("2001:db8::"), 112, 2)]
+
+
+class TestDensify:
+    def test_sparse_addresses_not_reported(self):
+        spread = [p("2001:db8::1"), p("2a00:1::1"), p("2400:2::1")]
+        assert compute_dense_prefixes(spread, 2, 112) == []
+
+    def test_duplicates_do_not_inflate_density(self):
+        values = [p("2001:db8::1")] * 5
+        assert compute_dense_prefixes(values, 2, 112) == []
+
+    def test_mixed_dense_and_sparse(self):
+        dense_block = [p("2001:db8::") + i for i in range(8)]
+        sparse = [p("2a00::1"), p("2400::9")]
+        found = compute_dense_prefixes(dense_block + sparse, 2, 112)
+        assert len(found) == 1
+        network, length, count = found[0]
+        assert network == p("2001:db8::")
+        assert count == 8
+
+    def test_least_specific_wins(self):
+        # Two addresses in each of the 256 /112 blocks of one /104: the
+        # fixed-length query reports 256 dense /112s, but the general
+        # densify aggregates all the way up, because the /104 itself
+        # meets the 2@/112 density (512 addresses >= 2 * 256), and
+        # reports the single least-specific prefix.
+        values = []
+        for block in range(256):
+            base = p("2001:db8::") + (block << 16)
+            values.extend([base, base + 1])
+        assert len(dense_prefixes_fixed(values, 2, 112)) == 256
+        general = compute_dense_prefixes(values, 2, 112)
+        assert len(general) == 1
+        _network, length, count = general[0]
+        assert length <= 104
+        assert count == 512
+
+    def test_non_overlapping_output(self):
+        values = [p("2001:db8::") + i for i in range(64)]
+        found = compute_dense_prefixes(values, 2, 112)
+        spans = [
+            (network, network + (1 << (128 - length)) - 1)
+            for network, length, _count in found
+        ]
+        spans.sort()
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end < b_start
+
+    def test_max_length_127_excludes_lone_128s(self):
+        # With n=1 every address alone would qualify; a /128 must still
+        # never be reported as a dense *prefix*.
+        found = compute_dense_prefixes([p("2001:db8::1")], 1, 128)
+        assert all(length <= 127 for _n, length, _c in found)
+
+
+class TestFixedPath:
+    def test_count_is_distinct_addresses(self):
+        values = [p("2001:db8::1"), p("2001:db8::1"), p("2001:db8::2")]
+        dense = dense_prefixes_fixed(values, 2, 112)
+        assert dense[0][2] == 2
+
+    def test_matches_general_path_when_widened(self):
+        values = [p("2001:db8::") + i * 3 for i in range(50)]
+        values += [p("2a00:5:6:7::") + i for i in range(10)]
+        fixed = dense_prefixes_fixed(values, 4, 112)
+        general = compute_dense_prefixes(values, 4, 112, widen=True)
+        assert {(n, l) for n, l, _ in fixed} == {(n, l) for n, l, _ in general}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            dense_prefixes_fixed([], 0, 112)
+
+
+class TestAddressesInDense:
+    def test_membership_scan(self):
+        values = [p("2001:db8::") + i for i in range(4)] + [p("2a00::1")]
+        dense = dense_prefixes_fixed(values, 2, 112)
+        inside = addresses_in_dense_prefixes(values, dense)
+        assert len(inside) == 4
+        assert p("2a00::1") not in inside
+
+    def test_empty_dense_list(self):
+        assert addresses_in_dense_prefixes([1, 2, 3], []) == []
+
+
+class TestAguriAggregate:
+    def test_small_counts_roll_up(self):
+        tree = build_tree([p("2001:db8::") + i for i in range(10)])
+        # Each leaf holds 10% of the total; with a 30% threshold all the
+        # /128s roll upward and only aggregates carrying >= 30% (or the
+        # root remainder) survive.
+        aguri_aggregate(tree, 0.3)
+        entries = profile(tree)
+        assert 1 <= len(entries) < 10
+        root_network = tree.root.network
+        for prefix, count in entries:
+            if (prefix.network, prefix.length) != (root_network, tree.root.length):
+                assert count >= 3
+
+    def test_heavy_prefix_survives(self):
+        heavy = [p("2001:db8::1")] * 80
+        light = [p("2a00::") + i for i in range(20)]
+        tree = build_tree(heavy + light)
+        aguri_aggregate(tree, 0.5)
+        entries = profile(tree)
+        survivors = {str(prefix): count for prefix, count in entries}
+        assert "2001:db8::1/128" in survivors
+        assert survivors["2001:db8::1/128"] == 80
+
+    def test_total_count_preserved(self):
+        tree = build_tree([p("2001:db8::") + i for i in range(37)])
+        aguri_aggregate(tree, 0.1)
+        assert tree.total_count == 37
+
+    def test_rejects_bad_fraction(self):
+        tree = build_tree([1])
+        with pytest.raises(ValueError):
+            aguri_aggregate(tree, 0.0)
+        with pytest.raises(ValueError):
+            aguri_aggregate(tree, 1.5)
+
+    def test_empty_tree_noop(self):
+        tree = build_tree([])
+        aguri_aggregate(tree, 0.5)
+        assert tree.total_count == 0

@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.baseline: the Malone-style content detector."""
+
+import random
+
+import pytest
+
+from repro.core.baseline import (
+    classify_privacy,
+    evaluate,
+    is_privacy_address,
+    nybble_histogram,
+)
+from repro.net import addr, mac
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+def random_privacy_address(rng: random.Random) -> int:
+    """A synthetic RFC 4941 address: random IID with the u bit cleared."""
+    iid = rng.getrandbits(64) & ~(1 << 57)
+    return addr.from_halves(p("2001:db8::") >> 64, iid)
+
+
+class TestVerdicts:
+    def test_eui64_never_privacy(self):
+        iid = mac.mac_to_eui64(mac.parse_mac("00:1e:c2:01:02:03"))
+        verdict = classify_privacy(addr.from_halves(p("2a00::") >> 64, iid))
+        assert not verdict.is_privacy
+        assert verdict.reason == "eui64"
+
+    def test_low_never_privacy(self):
+        verdict = classify_privacy(p("2001:db8::103"))
+        assert not verdict.is_privacy
+        assert verdict.reason == "low"
+
+    def test_isatap_never_privacy(self):
+        verdict = classify_privacy(p("2001:db8::5efe:c000:204"))
+        assert verdict.reason == "isatap"
+
+    def test_embedded_ipv4_never_privacy(self):
+        verdict = classify_privacy(p("2001:db8::c000:204"))
+        assert verdict.reason == "embedded-ipv4"
+
+    def test_u_bit_set_never_privacy(self):
+        # High-entropy IID but with the u bit set: RFC 4941 forbids it.
+        iid = 0x3231F3FDBBDD2C2A | (1 << 57)
+        verdict = classify_privacy(addr.from_halves(p("2a00::") >> 64, iid))
+        assert verdict.reason == "u-bit-set"
+
+    def test_structured_never_privacy(self):
+        verdict = classify_privacy(p("2001:db8:167:1109::10:901"))
+        assert not verdict.is_privacy
+
+    def test_high_entropy_is_privacy(self):
+        verdict = classify_privacy(p("2001:db8:4137:9e76:453c:9e17:bd82:f60a"))
+        assert verdict.is_privacy
+        assert verdict.reason == "random"
+
+    def test_figure1_sample_is_a_designed_miss(self):
+        # The paper's Figure-1 privacy sample has 9 distinct nybbles and
+        # slips past the conservative entropy test — the ~27% miss rate
+        # the paper cites is made of addresses like this one.
+        verdict = classify_privacy(p("2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a"))
+        assert not verdict.is_privacy
+
+
+class TestCalibration:
+    def test_recall_on_random_iids_near_73_percent(self):
+        """The paper cites Malone's detector at ~73% of privacy addresses."""
+        rng = random.Random(7)
+        sample = [random_privacy_address(rng) for _ in range(5000)]
+        hits = sum(is_privacy_address(value) for value in sample)
+        recall = hits / len(sample)
+        assert 0.65 < recall < 0.80
+
+    def test_low_false_positive_rate_on_structured(self):
+        structured = [
+            addr.from_halves(p("2001:db8::") >> 64, (0x10 << 16) | host)
+            for host in range(500)
+        ]
+        false_positives = sum(is_privacy_address(value) for value in structured)
+        assert false_positives == 0
+
+    def test_no_false_positives_on_eui64(self):
+        values = [
+            addr.from_halves(
+                p("2a00::") >> 64, mac.mac_to_eui64(0x001EC2000000 + i)
+            )
+            for i in range(500)
+        ]
+        assert sum(is_privacy_address(value) for value in values) == 0
+
+
+class TestNybbleHistogram:
+    def test_uniform(self):
+        distinct, repeat = nybble_histogram(0x0123456789ABCDEF)
+        assert distinct == 16
+        assert repeat == 1
+
+    def test_constant(self):
+        distinct, repeat = nybble_histogram(0)
+        assert distinct == 1
+        assert repeat == 16
+
+
+class TestEvaluate:
+    def test_confusion_counts(self):
+        rng = random.Random(11)
+        privacy = [(random_privacy_address(rng), True) for _ in range(200)]
+        stable = [(p("2001:db8::") + i, False) for i in range(1, 201)]
+        scores = evaluate(privacy + stable)
+        total = sum(
+            scores[key]
+            for key in (
+                "true_positive",
+                "false_positive",
+                "true_negative",
+                "false_negative",
+            )
+        )
+        assert total == 400
+        assert scores["true_negative"] == 200  # low IIDs never flagged
+        assert 0.6 < scores["recall"] < 0.85
+        assert scores["precision"] == 1.0
+
+    def test_empty_input(self):
+        scores = evaluate([])
+        assert scores["recall"] == 0.0
+        assert scores["accuracy"] == 0.0

@@ -1,0 +1,160 @@
+"""Unit tests for repro.sim.cdn and repro.sim.transition."""
+
+import pytest
+
+from repro.core.format import TransitionKind, transition_kind
+from repro.net import addr, special
+from repro.net.prefix import Prefix
+from repro.sim.cdn import Network, SimulatedInternet
+from repro.sim.plans import StaticIspPlan, DynamicPoolPlan
+from repro.sim.registry import AddressRegistry
+from repro.sim.subscribers import Population
+from repro.sim.transition import (
+    TransitionConfig,
+    generate_transition_day,
+    isatap_address,
+    sixto4_address,
+    teredo_address,
+)
+
+
+def tiny_internet(seed=1, slew=0.0):
+    registry = AddressRegistry(seed)
+    internet = SimulatedInternet(
+        seed=seed, registry=registry,
+        transition=TransitionConfig(sixto4_clients=5, teredo_clients=2,
+                                    isatap_clients=2),
+        slew_probability=slew,
+    )
+    allocation = registry.allocate("isp", "US", "isp", [32])
+    plan = StaticIspPlan("isp", seed, allocation.prefixes[0])
+    population = Population(network="isp", seed=seed, size=40,
+                            start_day=0, end_day=10, start_fraction=1.0)
+    internet.add_network(Network(allocation, plan, population))
+    return internet
+
+
+class TestTransitionGenerators:
+    def test_6to4_format(self):
+        for index in range(20):
+            value = sixto4_address(1, index, 0)
+            assert special.is_6to4(value)
+            assert special.embedded_ipv4_6to4(value) is not None
+
+    def test_teredo_format(self):
+        for index in range(10):
+            value = teredo_address(1, index, 0)
+            assert special.is_teredo(value)
+            client = special.embedded_ipv4_teredo(value)
+            assert client is not None and client > 0
+
+    def test_isatap_format(self):
+        for index in range(10):
+            value = isatap_address(1, index, 0)
+            assert special.is_isatap(value)
+            embedded = special.embedded_ipv4_isatap(value)
+            assert (embedded >> 24) == 10  # RFC1918 10/8
+
+    def test_teredo_port_churns_daily(self):
+        assert teredo_address(1, 0, 0) != teredo_address(1, 0, 1)
+
+    def test_day_generation_respects_counts(self):
+        config = TransitionConfig(sixto4_clients=50, teredo_clients=10,
+                                  isatap_clients=10)
+        values = generate_transition_day(1, config, day=0, activity=1.0)
+        kinds = [transition_kind(v) for v in values]
+        assert kinds.count(TransitionKind.SIXTO4) == 50
+        assert kinds.count(TransitionKind.TEREDO) == 10
+        assert kinds.count(TransitionKind.ISATAP) == 10
+
+    def test_activity_thins_population(self):
+        config = TransitionConfig(sixto4_clients=200)
+        some = generate_transition_day(1, config, day=0, activity=0.5)
+        assert 50 < len(some) < 150
+
+
+class TestSimulatedInternet:
+    def test_day_addresses_deterministic(self):
+        a = tiny_internet().day_addresses(5)
+        b = tiny_internet().day_addresses(5)
+        assert a == b
+
+    def test_day_addresses_sorted_unique(self):
+        values = tiny_internet().day_addresses(5)
+        assert values == sorted(set(values))
+
+    def test_different_days_differ(self):
+        internet = tiny_internet()
+        assert internet.day_addresses(5) != internet.day_addresses(6)
+
+    def test_include_transition_flag(self):
+        internet = tiny_internet()
+        with_transition = internet.day_addresses(5, include_transition=True)
+        without = internet.day_addresses(5, include_transition=False)
+        assert len(without) < len(with_transition)
+        assert all(
+            transition_kind(v) is TransitionKind.OTHER for v in without
+        )
+
+    def test_slew_moves_observations_to_next_day(self):
+        # Slew shifts *which* generation day a log day reflects, not how
+        # much: with 90% slew, the set attributed to day 5 is mostly the
+        # activity generated on day 4.
+        no_slew = tiny_internet(slew=0.0)
+        heavy_slew = tiny_internet(slew=0.9)
+        generated_day4 = set(no_slew.day_addresses(4, include_transition=False))
+        generated_day5 = set(no_slew.day_addresses(5, include_transition=False))
+        attributed_day5 = set(heavy_slew.day_addresses(5, include_transition=False))
+        from_day4 = len(attributed_day5 & generated_day4)
+        from_day5 = len(attributed_day5 & (generated_day5 - generated_day4))
+        assert from_day4 > from_day5
+
+    def test_build_store(self):
+        internet = tiny_internet()
+        store = internet.build_store(range(3, 6))
+        assert store.days() == [3, 4, 5]
+        assert len(store.get(4)) > 0
+
+    def test_ground_truth_labels_addresses(self):
+        internet = tiny_internet()
+        truth = internet.ground_truth_for_day(5)
+        assert truth
+        for address, label in truth.items():
+            assert label.network == "isp"
+            assert label.plan == "static-isp"
+
+    def test_labelled_privacy_sample(self):
+        internet = tiny_internet()
+        pairs = internet.labelled_privacy_sample(5)
+        assert pairs
+        assert any(flag for _addr, flag in pairs)
+
+    def test_device_census_counts(self):
+        internet = tiny_internet()
+        counts = internet.device_census(5)
+        assert counts["devices"] >= counts["subscribers"] > 0
+
+    def test_carryover_creates_day_overlap(self):
+        internet = tiny_internet()
+        day5 = set(internet.day_addresses(5, include_transition=False))
+        day6 = set(internet.day_addresses(6, include_transition=False))
+        overlap = day5 & day6
+        # Static-plan EUI-64 devices plus privacy carryover both persist.
+        assert overlap
+
+
+class TestDynamicPoolNetwork:
+    def test_pool_network_64s_churn(self):
+        seed = 3
+        registry = AddressRegistry(seed)
+        internet = SimulatedInternet(seed=seed, registry=registry,
+                                     transition=TransitionConfig())
+        allocation = registry.allocate("mob", "US", "mobile", [44] * 4)
+        plan = DynamicPoolPlan("mob", seed, allocation.prefixes, pool_bits=10)
+        population = Population(network="mob", seed=seed, size=60,
+                                start_day=0, end_day=10, start_fraction=1.0)
+        internet.add_network(Network(allocation, plan, population))
+        day5 = {v >> 64 for v in internet.day_addresses(5, include_transition=False)}
+        day6 = {v >> 64 for v in internet.day_addresses(6, include_transition=False)}
+        # The /64s in use change nearly completely between days.
+        assert len(day5 & day6) < len(day5) * 0.5

@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.census: Table-1 characteristics."""
+
+import random
+
+import pytest
+
+from repro.core.census import census, census_day, census_week, cull_other
+from repro.core.format import TransitionKind, transition_kind
+from repro.data.store import ObservationStore
+from repro.net import addr, mac
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+SAMPLE = [
+    p("2002:c000:204::1"),          # 6to4
+    p("2002:c000:205::1"),          # 6to4
+    p("2001:0:1::1"),               # teredo
+    p("2001:db8::5efe:c000:204"),   # isatap
+    p("2a00::1"),                   # other, low IID
+    p("2a00::2"),                   # other, same /64
+    p("2a00:0:0:1:21e:c2ff:fe01:203"),  # other, EUI-64
+]
+
+
+class TestCensusRow:
+    def test_bucket_counts(self):
+        row = census(SAMPLE, "sample")
+        assert row.total == 7
+        assert row.sixto4 == 2
+        assert row.teredo == 1
+        assert row.isatap == 1
+        assert row.other == 3
+
+    def test_shares_sum_to_one(self):
+        row = census(SAMPLE)
+        total_share = (
+            row.teredo_share + row.isatap_share + row.sixto4_share + row.other_share
+        )
+        assert total_share == pytest.approx(1.0)
+
+    def test_other_64s_and_average(self):
+        row = census(SAMPLE)
+        assert row.other_64s == 2  # 2a00::/64 and 2a00:0:0:1::/64
+        assert row.avg_addrs_per_64 == pytest.approx(1.5)
+
+    def test_eui64_stats(self):
+        row = census(SAMPLE)
+        assert row.eui64_not_6to4 == 1
+        assert row.eui64_distinct_macs == 1
+
+    def test_eui64_excludes_6to4(self):
+        eui = mac.mac_to_eui64(mac.parse_mac("00:1e:c2:01:02:03"))
+        values = [addr.from_halves(p("2002:c000:204::") >> 64, eui)]
+        row = census(values)
+        assert row.eui64_not_6to4 == 0
+
+    def test_empty(self):
+        row = census([])
+        assert row.total == 0
+        assert row.other_share == 0.0
+        assert row.avg_addrs_per_64 == 0.0
+
+    def test_matches_scalar_classifier(self):
+        rng = random.Random(13)
+        values = []
+        for _ in range(500):
+            kind = rng.randrange(4)
+            if kind == 0:
+                values.append((0x2002 << 112) | rng.getrandbits(100))
+            elif kind == 1:
+                values.append((0x20010000 << 96) | rng.getrandbits(96))
+            elif kind == 2:
+                high = (0x2A00 << 112) >> 64 | rng.getrandbits(16)
+                values.append((high << 64) | 0x00005EFE << 32 | rng.getrandbits(32))
+            else:
+                values.append((0x2A00 << 112) | rng.getrandbits(64))
+        row = census(values)
+        expected = {kind: 0 for kind in TransitionKind}
+        for value in set(values):
+            expected[transition_kind(value)] += 1
+        assert row.sixto4 == expected[TransitionKind.SIXTO4]
+        assert row.teredo == expected[TransitionKind.TEREDO]
+        assert row.isatap == expected[TransitionKind.ISATAP]
+        assert row.other == expected[TransitionKind.OTHER]
+
+
+class TestStoreHelpers:
+    def test_census_day_and_week(self):
+        store = ObservationStore()
+        store.add_day(0, SAMPLE[:4])
+        store.add_day(1, SAMPLE[3:])
+        daily = census_day(store, 0)
+        weekly = census_week(store, [0, 1])
+        assert daily.total == 4
+        assert weekly.total == 7  # the isatap address overlaps
+
+    def test_cull_other(self):
+        kept = cull_other(SAMPLE)
+        assert len(kept) == 3
+        assert all(transition_kind(v) is TransitionKind.OTHER for v in kept)

@@ -1,0 +1,90 @@
+"""Tests for the extended CLI tools and failure handling."""
+
+import pytest
+
+from repro.cli import (
+    main,
+    main_census,
+    main_simulate,
+    main_stableprefix,
+)
+from repro.data import logfile
+from repro.data.store import ObservationStore
+from repro.net import addr
+
+
+def _write_logs(tmp_path, schedule):
+    store = ObservationStore()
+    for day, values in schedule.items():
+        store.add_day(day, values)
+    return logfile.save_store(store, str(tmp_path))
+
+
+class TestStableprefixCli:
+    def test_reports_boundary(self, tmp_path, capsys):
+        base = addr.parse("2001:db8:1:2::")
+        paths = _write_logs(
+            tmp_path,
+            {
+                0: [base + 0x1111, base + 0x2222],
+                2: [base + 0x3333],
+                5: [base + 0x4444],
+            },
+        )
+        assert main_stableprefix(paths + ["-n", "3", "--min-days", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "dominant boundary" in output
+        assert "/112" in output  # the shared high bits of the small offsets
+
+    def test_simulated_input(self, capsys):
+        assert main_stableprefix(["--simulate", "0.02", "--min-days", "3"]) == 0
+        assert "Longest stable prefixes" in capsys.readouterr().out
+
+
+class TestSimulateCli:
+    def test_writes_logs(self, tmp_path, capsys):
+        directory = str(tmp_path / "logs")
+        assert main_simulate([directory, "--scale", "0.02", "--days", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "wrote 3 daily logs" in output
+        paths = sorted((tmp_path / "logs").glob("log-*.txt"))
+        assert len(paths) == 3
+        # The logs round-trip through the census tool.
+        assert main_census([str(p) for p in paths]) == 0
+
+    def test_custom_start_day(self, tmp_path, capsys):
+        directory = str(tmp_path / "logs2")
+        assert main_simulate(
+            [directory, "--scale", "0.02", "--days", "2", "--start", "100"]
+        ) == 0
+        names = sorted(p.name for p in (tmp_path / "logs2").glob("log-*.txt"))
+        assert names == ["log-100.txt", "log-101.txt"]
+
+
+class TestDispatch:
+    def test_main_dispatches(self, tmp_path, capsys):
+        paths = _write_logs(tmp_path, {0: [1, 2], 1: [2]})
+        assert main(["census"] + paths) == 0
+        assert "Census" in capsys.readouterr().out
+
+    def test_main_unknown_tool(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_main_no_args(self, capsys):
+        assert main([]) == 2
+
+
+class TestFailureHandling:
+    def test_census_with_corrupt_log(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("this is not a log line\n")
+        with pytest.raises(logfile.LogFormatError):
+            main_census([str(path)])
+
+    def test_stableprefix_empty_store(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# repro aggregated log day=0\n")
+        assert main_stableprefix([str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "dominant boundary: /0" in output

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.density: n@/p classes and Table 3 accounting."""
+
+import pytest
+
+from repro.core.density import (
+    TABLE3_CLASSES,
+    DenseResult,
+    DensityClass,
+    dense_prefix_objects,
+    find_dense,
+    scan_targets,
+    table3,
+)
+from repro.net import addr
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+class TestDensityClass:
+    def test_label(self):
+        assert DensityClass(2, 112).label == "2 @ /112"
+
+    def test_span(self):
+        assert DensityClass(2, 112).span == 65536
+        assert DensityClass(2, 124).span == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityClass(0, 112)
+        with pytest.raises(Exception):
+            DensityClass(2, 129)
+
+    def test_table3_has_twelve_rows_in_paper_order(self):
+        assert len(TABLE3_CLASSES) == 12
+        assert TABLE3_CLASSES[0] == DensityClass(2, 124)
+        assert TABLE3_CLASSES[-1] == DensityClass(2, 104)
+
+
+class TestFindDense:
+    def test_paper_example(self):
+        result = find_dense([p("2001:db8::1"), p("2001:db8::4")], DensityClass(2, 112))
+        assert result.num_prefixes == 1
+        assert result.prefixes[0][0] == p("2001:db8::")
+        assert result.contained_addresses == 2
+
+    def test_no_dense_126_in_paper_example(self):
+        result = find_dense([p("2001:db8::1"), p("2001:db8::4")], DensityClass(2, 126))
+        assert result.num_prefixes == 0
+        assert result.contained_addresses == 0
+        assert result.address_density == 0.0
+
+    def test_threshold_counts_distinct_addresses(self):
+        values = [p("2001:db8::1")] * 10 + [p("2001:db8::2")]
+        result = find_dense(values, DensityClass(3, 112))
+        assert result.num_prefixes == 0
+
+    def test_higher_n_is_subset(self):
+        values = [p("2001:db8::") + i for i in range(10)]
+        values += [p("2a00::") + i for i in range(3)]
+        low = find_dense(values, DensityClass(2, 112))
+        high = find_dense(values, DensityClass(8, 112))
+        low_networks = {network for network, _l, _c in low.prefixes}
+        high_networks = {network for network, _l, _c in high.prefixes}
+        assert high_networks <= low_networks
+
+    def test_possible_addresses_accounting(self):
+        values = [p("2001:db8::") + i for i in range(5)]
+        result = find_dense(values, DensityClass(2, 120))
+        assert result.possible_addresses == result.num_prefixes * 256
+        assert result.address_density == pytest.approx(
+            result.contained_addresses / result.possible_addresses
+        )
+
+
+class TestTable3:
+    def test_rows_cover_all_classes(self):
+        values = [p("2001:db8::") + i for i in range(100)]
+        rows = table3(values)
+        assert [row.density_class for row in rows] == list(TABLE3_CLASSES)
+
+    def test_dense_block_found_at_every_applicable_class(self):
+        # 64 consecutive addresses: dense for every class with p >= 122
+        # span... specifically any n <= 64 within a /112.
+        values = [p("2001:db8::") + i for i in range(64)]
+        rows = {row.density_class: row for row in table3(values)}
+        assert rows[DensityClass(64, 112)].num_prefixes == 1
+        assert rows[DensityClass(2, 112)].num_prefixes == 1
+        assert rows[DensityClass(2, 124)].num_prefixes == 4
+
+    def test_monotone_in_n_at_fixed_p(self):
+        import random
+
+        rng = random.Random(2)
+        values = [p("2001:db8::") + rng.randrange(1 << 20) for _ in range(500)]
+        rows = {row.density_class: row for row in table3(values)}
+        p112 = [rows[DensityClass(n, 112)].num_prefixes for n in (2, 4, 8, 16, 32, 64)]
+        assert p112 == sorted(p112, reverse=True)
+
+
+class TestTargets:
+    def test_dense_prefix_objects(self):
+        result = find_dense([p("2001:db8::1"), p("2001:db8::4")], DensityClass(2, 112))
+        objects = dense_prefix_objects(result)
+        assert str(objects[0]) == "2001:db8::/112"
+
+    def test_scan_targets_enumerates_span(self):
+        result = find_dense([p("2001:db8::1"), p("2001:db8::4")], DensityClass(2, 124))
+        targets = scan_targets(result)
+        assert len(targets) == 16
+        assert targets[0] == p("2001:db8::")
+
+    def test_scan_targets_respects_limit(self):
+        result = find_dense([p("2001:db8::1"), p("2001:db8::4")], DensityClass(2, 112))
+        targets = scan_targets(result, limit=100)
+        assert len(targets) == 100

@@ -1,0 +1,86 @@
+"""Example smoke tests and persistence round-trip properties."""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import logfile
+from repro.data.hitlist import read_hitlist, write_hitlist
+from repro.data.store import ObservationStore, from_array
+from repro.net import arpa
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+addresses_strategy = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+@pytest.mark.parametrize("script", ["analyze_logs.py", "network_monitoring.py"])
+def test_example_runs_clean(script):
+    """The two fastest examples must run end-to-end without error."""
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "examples", script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+class TestPersistenceRoundtrips:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=30),
+            st.sets(addresses_strategy, max_size=10),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_npz_roundtrip(self, schedule):
+        store = ObservationStore()
+        for day, values in schedule.items():
+            store.add_day(day, values)
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "store.npz")
+            store.save(path)
+            loaded = ObservationStore.load(path)
+        assert loaded.days() == store.days()
+        for day in store.days():
+            assert from_array(loaded.array(day)) == from_array(store.array(day))
+
+    @given(
+        st.lists(
+            st.tuples(
+                addresses_strategy, st.integers(min_value=1, max_value=10**9)
+            ),
+            max_size=20,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_logfile_roundtrip(self, entries):
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "log.txt")
+            logfile.write_daily_log(path, 7, entries)
+            day, loaded = logfile.read_daily_log(path)
+        assert day == 7
+        assert loaded == entries
+
+    @given(st.sets(addresses_strategy, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_hitlist_roundtrip(self, values):
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "list.txt")
+            write_hitlist(path, sorted(values))
+            assert read_hitlist(path).addresses == sorted(values)
+
+    @given(addresses_strategy)
+    @settings(max_examples=200)
+    def test_arpa_roundtrip_property(self, value):
+        assert arpa.from_arpa(arpa.to_arpa(value)) == value

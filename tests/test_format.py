@@ -1,0 +1,164 @@
+"""Unit tests for repro.core.format: address-format classification."""
+
+import pytest
+
+from repro.core.format import (
+    AddressFormat,
+    IidKind,
+    TransitionKind,
+    classify,
+    classify_iid,
+    count_eui64,
+    distinct_nybbles,
+    eui64_mac,
+    is_eui64_address,
+    partition_by_transition,
+    plausible_embedded_ipv4,
+    transition_kind,
+)
+from repro.net import addr, mac
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+class TestTransitionKind:
+    def test_teredo(self):
+        assert transition_kind(p("2001:0:1::1")) is TransitionKind.TEREDO
+
+    def test_6to4(self):
+        assert transition_kind(p("2002:c000:204::1")) is TransitionKind.SIXTO4
+
+    def test_isatap(self):
+        assert transition_kind(p("2001:db8::5efe:c000:204")) is TransitionKind.ISATAP
+
+    def test_other(self):
+        assert transition_kind(p("2a00:1450::1")) is TransitionKind.OTHER
+
+    def test_teredo_wins_over_isatap_pattern(self):
+        # An ISATAP-looking IID inside the Teredo prefix is Teredo.
+        value = p("2001:0:1:1:0:5efe:c000:204")
+        assert transition_kind(value) is TransitionKind.TEREDO
+
+
+class TestIidClassification:
+    def test_eui64(self):
+        iid = mac.mac_to_eui64(mac.parse_mac("00:1e:c2:01:02:03"))
+        assert classify_iid(iid) is IidKind.EUI64
+
+    def test_isatap_iid(self):
+        assert classify_iid(0x00005EFE_C0000204) is IidKind.ISATAP
+
+    def test_low(self):
+        assert classify_iid(0x103) is IidKind.LOW
+        assert classify_iid(1) is IidKind.LOW
+
+    def test_embedded_ipv4_hex(self):
+        assert classify_iid(0xC0000204) is IidKind.EMBEDDED_IPV4
+
+    def test_embedded_ipv4_decimal_coded(self):
+        # ::192:0:2:33 spells 192.0.2.33 in decimal-coded segments (the
+        # hex text of each segment read as a decimal octet).
+        iid = (0x192 << 48) | (0x0 << 32) | (0x2 << 16) | 0x33
+        assert plausible_embedded_ipv4(iid) == (192 << 24) | (2 << 8) | 33
+        assert classify_iid(iid) is IidKind.EMBEDDED_IPV4
+
+    def test_structured(self):
+        # ::10:901 — beyond LOW range, low entropy.
+        assert classify_iid(0x10 << 16 | 0x901) is IidKind.STRUCTURED
+
+    def test_random(self):
+        # 16 distinct nybbles: unambiguously high-entropy.
+        assert classify_iid(0x453C9E17BD82F60A) is IidKind.RANDOM
+
+    def test_figure1_privacy_sample_is_a_known_miss(self):
+        # The paper's own privacy-address sample (Figure 1, line iv) has
+        # only 9 distinct nybbles, below the entropy threshold — one of
+        # the ~27% of privacy IIDs content-only classification misses,
+        # which is exactly why the paper built a temporal classifier.
+        assert classify_iid(0x3031F3FD_BBDD2C2A) is IidKind.STRUCTURED
+
+    def test_distinct_nybbles(self):
+        assert distinct_nybbles(0) == 1
+        assert distinct_nybbles(0x0123456789ABCDEF) == 16
+
+
+class TestClassify:
+    def test_full_classification_eui64(self):
+        device_mac = mac.parse_mac("00:1e:c2:01:02:03")
+        value = addr.from_halves(
+            p("2001:db8::") >> 64, mac.mac_to_eui64(device_mac)
+        )
+        result = classify(value)
+        assert isinstance(result, AddressFormat)
+        assert result.is_native
+        assert result.is_eui64
+        assert result.mac == device_mac
+        assert result.embedded_ipv4 is None
+
+    def test_6to4_extracts_ipv4(self):
+        result = classify(p("2002:c000:204::1"))
+        assert result.transition is TransitionKind.SIXTO4
+        assert result.embedded_ipv4 == 0xC0000204
+        assert not result.is_native
+
+    def test_teredo_extracts_client_ipv4(self):
+        obfuscated = 0xC0000201 ^ 0xFFFFFFFF
+        value = (0x20010000 << 96) | obfuscated
+        result = classify(value)
+        assert result.transition is TransitionKind.TEREDO
+        assert result.embedded_ipv4 == 0xC0000201
+
+    def test_high_entropy_privacy_address(self):
+        result = classify(p("2001:db8:4137:9e76:453c:9e17:bd82:f60a"))
+        assert result.is_native
+        assert result.iid_kind is IidKind.RANDOM
+
+    def test_embedded_ipv4_native(self):
+        result = classify(p("2001:db8::c000:204"))
+        assert result.iid_kind is IidKind.EMBEDDED_IPV4
+        assert result.embedded_ipv4 == 0xC0000204
+
+
+class TestHelpers:
+    def test_is_eui64_address(self):
+        assert is_eui64_address(p("2001:db8:0:1cdf:21e:c2ff:fec0:11db"))
+        assert not is_eui64_address(p("2001:db8::1"))
+
+    def test_eui64_mac_extraction(self):
+        value = p("2001:db8:0:1cdf:21e:c2ff:fec0:11db")
+        assert eui64_mac(value) == mac.parse_mac("00:1e:c2:c0:11:db")
+        assert eui64_mac(p("2001:db8::1")) is None
+
+    def test_partition_by_transition(self):
+        values = [
+            p("2002:c000:204::1"),
+            p("2001:0:1::1"),
+            p("2001:db8::5efe:c000:204"),
+            p("2a00::1"),
+            p("2a00::2"),
+        ]
+        buckets = partition_by_transition(values)
+        assert len(buckets[TransitionKind.SIXTO4]) == 1
+        assert len(buckets[TransitionKind.TEREDO]) == 1
+        assert len(buckets[TransitionKind.ISATAP]) == 1
+        assert len(buckets[TransitionKind.OTHER]) == 2
+        # All four keys always present.
+        assert set(buckets) == set(TransitionKind)
+
+    def test_count_eui64_distinct_macs(self):
+        shared = mac.mac_to_eui64(mac.parse_mac("00:11:22:33:44:56"))
+        values = [
+            addr.from_halves((p("2a00::") >> 64) + i, shared) for i in range(3)
+        ]
+        values.append(
+            addr.from_halves(
+                p("2001:db8::") >> 64,
+                mac.mac_to_eui64(mac.parse_mac("00:1e:c2:01:02:03")),
+            )
+        )
+        values.append(p("2001:db8::1"))  # not EUI-64
+        count, distinct = count_eui64(values)
+        assert count == 4
+        assert distinct == 2

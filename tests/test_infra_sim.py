@@ -1,0 +1,148 @@
+"""Unit tests for routers, probing and DNS simulators."""
+
+import pytest
+
+from repro.core.density import DensityClass, find_dense
+from repro.net import addr
+from repro.net.prefix import Prefix
+from repro.sim.dns import ReverseDns, add_dhcp_range, ptr_yield, zone_from_routers
+from repro.sim.probing import (
+    build_topology,
+    improvement,
+    probe,
+    run_campaign,
+)
+from repro.sim.routers import build_isp_routers, build_router_corpus
+
+
+def corpus_for_test(seed=1, responsiveness=0.8):
+    prefix = Prefix(addr.parse("2a00:100::"), 32)
+    return build_isp_routers(seed, "ispa", prefix, responsiveness=responsiveness)
+
+
+class TestRouterCorpus:
+    def test_roles_present(self):
+        corpus = corpus_for_test()
+        roles = {interface.role for interface in corpus.interfaces}
+        assert roles == {"p2p", "loopback", "edge"}
+
+    def test_addresses_inside_prefix(self):
+        prefix = Prefix(addr.parse("2a00:100::"), 32)
+        corpus = corpus_for_test()
+        assert all(prefix.contains(i.address) for i in corpus.interfaces)
+
+    def test_p2p_pairs_adjacent(self):
+        corpus = corpus_for_test()
+        p2p = sorted(i.address for i in corpus.interfaces if i.role == "p2p")
+        # Allocated pairwise: even/odd neighbours.
+        evens = [a for a in p2p if a % 2 == 0]
+        assert all(a + 1 in set(p2p) for a in evens)
+
+    def test_p2p_blocks_are_dense(self):
+        corpus = corpus_for_test()
+        addresses = [i.address for i in corpus.interfaces]
+        result = find_dense(addresses, DensityClass(2, 112))
+        assert result.num_prefixes >= 1
+
+    def test_responsiveness_deterministic_and_partial(self):
+        a = corpus_for_test()
+        b = corpus_for_test()
+        assert a.responsive == b.responsive
+        observed = a.observed_addresses()
+        assert 0 < len(observed) < len(a.interfaces)
+
+    def test_full_responsiveness(self):
+        corpus = corpus_for_test(responsiveness=1.0)
+        assert len(corpus.observed_addresses()) == len(corpus.interfaces)
+
+    def test_multi_isp_corpus_scales(self):
+        isps = [
+            ("a", Prefix(addr.parse("2a00:100::"), 32)),
+            ("b", Prefix(addr.parse("2600:100::"), 32)),
+        ]
+        small = build_router_corpus(1, isps, scale=0.25)
+        large = build_router_corpus(1, isps, scale=1.0)
+        assert len(large.interfaces) > len(small.interfaces)
+
+
+class TestProbing:
+    def setup_method(self):
+        self.corpus = corpus_for_test(responsiveness=1.0)
+        base = addr.parse("2a00:100:1::") >> 64
+        self.active_64s = [base + i for i in range(50)]
+        self.topology = build_topology(1, self.corpus, self.active_64s)
+
+    def test_probe_to_active_64_reaches_edge(self):
+        target = (self.active_64s[0] << 64) | 0x1234
+        responses = probe(1, self.topology, target)
+        edge_addresses = {
+            i.address for i in self.corpus.interfaces if i.role == "edge"
+        }
+        assert any(r in edge_addresses for r in responses)
+
+    def test_probe_to_inactive_64_stops_short(self):
+        inactive = ((addr.parse("2a00:100:2:ffff::") >> 64) << 64) | 1
+        responses = probe(1, self.topology, inactive)
+        edge_addresses = {
+            i.address for i in self.corpus.interfaces if i.role == "edge"
+        }
+        assert not any(r in edge_addresses for r in responses)
+
+    def test_campaign_discovers_more_with_active_targets(self):
+        active_targets = [(n << 64) | 7 for n in self.active_64s]
+        dead_targets = [
+            ((addr.parse("2a00:100:3::") >> 64) + i) << 64 | 7 for i in range(50)
+        ]
+        good = run_campaign(1, self.topology, active_targets, self.corpus, "stable")
+        poor = run_campaign(1, self.topology, dead_targets, self.corpus, "random")
+        assert good.discovered_count > poor.discovered_count
+        assert improvement(good, poor) > 0
+
+    def test_improvement_handles_zero_baseline(self):
+        empty = run_campaign(1, self.topology, [], self.corpus, "none")
+        full = run_campaign(
+            1, self.topology, [(self.active_64s[0] << 64) | 1], self.corpus, "one"
+        )
+        assert improvement(full, empty) == float("inf")
+
+    def test_unresponsive_interfaces_never_observed(self):
+        corpus = corpus_for_test(responsiveness=0.5)
+        topology = build_topology(1, corpus, self.active_64s)
+        targets = [(n << 64) | 7 for n in self.active_64s]
+        campaign = run_campaign(1, topology, targets, corpus, "s")
+        assert all(corpus.responsive[a] for a in campaign.discovered)
+
+
+class TestReverseDns:
+    def test_zone_from_routers_names_everything(self):
+        corpus = corpus_for_test()
+        zone = zone_from_routers(corpus)
+        assert len(zone) == len(corpus.interfaces)
+        first = corpus.interfaces[0]
+        name = zone.query(first.address)
+        assert name is not None and first.role in name
+
+    def test_query_miss_is_none(self):
+        zone = ReverseDns()
+        assert zone.query(123) is None
+
+    def test_dhcp_range_names(self):
+        zone = ReverseDns()
+        high = addr.parse("2a00:300:0:101::") >> 64
+        add_dhcp_range(zone, high, 0x1000, 100)
+        assert len(zone) == 100
+        assert zone.query((high << 64) | 0x1005).startswith("dhcpv6-5.")
+
+    def test_ptr_yield_scan_beats_active_queries(self):
+        # Name a full /120 range but mark only a few addresses active:
+        # scanning the dense prefix harvests the extra names (§6.2.3).
+        zone = ReverseDns()
+        high = addr.parse("2a00:300:0:101::") >> 64
+        add_dhcp_range(zone, high, 0x100, 200)
+        active = [(high << 64) | (0x100 + i) for i in range(0, 200, 40)]
+        dense = find_dense(active, DensityClass(3, 120)).prefixes
+        assert dense
+        result = ptr_yield(zone, active, dense)
+        assert result.active_names == 5
+        assert result.scan_names > result.active_names
+        assert result.extra_names == result.scan_names - result.active_names

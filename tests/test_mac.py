@@ -1,0 +1,83 @@
+"""Unit tests for repro.net.mac: MAC ⇄ Modified EUI-64 conversion."""
+
+import pytest
+
+from repro.net import mac
+
+
+class TestMacParsing:
+    def test_parse_colon_form(self):
+        assert mac.parse_mac("00:1e:c2:aa:bb:cc") == 0x001EC2AABBCC
+
+    def test_parse_dash_form(self):
+        assert mac.parse_mac("00-1E-C2-AA-BB-CC") == 0x001EC2AABBCC
+
+    def test_format_roundtrip(self):
+        value = 0x001EC2AABBCC
+        assert mac.parse_mac(mac.format_mac(value)) == value
+
+    @pytest.mark.parametrize("bad", ["", "00:11:22:33:44", "00:11:22:33:44:5",
+                                     "zz:11:22:33:44:55", "001122334455"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(mac.MacError):
+            mac.parse_mac(bad)
+
+    def test_range_checks(self):
+        with pytest.raises(mac.MacError):
+            mac.check_mac(1 << 48)
+        with pytest.raises(mac.MacError):
+            mac.format_mac(-1)
+
+
+class TestEui64:
+    def test_rfc4291_worked_example(self):
+        # RFC 4291 Appendix A: MAC 34-56-78-9A-BC-DE -> 3656:78ff:fe9a:bcde
+        value = mac.parse_mac("34:56:78:9a:bc:de")
+        assert mac.mac_to_eui64(value) == 0x365678FFFE9ABCDE
+
+    def test_roundtrip(self):
+        value = mac.parse_mac("00:11:22:33:44:56")
+        assert mac.eui64_to_mac(mac.mac_to_eui64(value)) == value
+
+    def test_marker_detection(self):
+        iid = mac.mac_to_eui64(0x001EC2AABBCC)
+        assert mac.is_eui64_iid(iid)
+        assert not mac.is_eui64_iid(0xDEADBEEF00000000)
+
+    def test_u_bit_flipped_for_universal_mac(self):
+        # A universally administered MAC (u/l bit 0) gets u=1 in the IID.
+        iid = mac.mac_to_eui64(0x001EC2AABBCC)
+        assert mac.iid_u_bit(iid) == 1
+
+    def test_u_bit_for_local_mac(self):
+        # A locally administered MAC (bit set) flips to u=0.
+        local = 0x021EC2AABBCC
+        assert mac.is_locally_administered(local)
+        assert mac.iid_u_bit(mac.mac_to_eui64(local)) == 0
+
+    def test_eui64_to_mac_rejects_non_marker(self):
+        with pytest.raises(mac.MacError):
+            mac.eui64_to_mac(0x1234567812345678)
+
+    def test_eui64_mac_or_none(self):
+        iid = mac.mac_to_eui64(0xA45E60010203)
+        assert mac.eui64_mac_or_none(iid) == 0xA45E60010203
+        assert mac.eui64_mac_or_none(12345) is None
+
+    def test_iid_range_check(self):
+        with pytest.raises(mac.MacError):
+            mac.is_eui64_iid(1 << 64)
+
+
+class TestMacBits:
+    def test_oui(self):
+        assert mac.oui(0x001EC2AABBCC) == 0x001EC2
+
+    def test_group_bit(self):
+        assert mac.is_group(0x010000000000)
+        assert not mac.is_group(0x001EC2AABBCC)
+
+    def test_marker_position_matches_address_layout(self):
+        # The ff:fe marker must sit at IID bits 24..39 (from the LSB).
+        iid = mac.mac_to_eui64(0x001EC2AABBCC)
+        assert (iid >> 24) & 0xFFFF == 0xFFFE

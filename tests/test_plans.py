@@ -1,0 +1,267 @@
+"""Unit tests for repro.sim.plans: addressing plans and IID policies."""
+
+import pytest
+
+from repro.core.format import IidKind, classify_iid
+from repro.net import addr, mac
+from repro.net.prefix import Prefix
+from repro.sim.plans import (
+    DenseDhcpPlan,
+    Device,
+    DynamicPoolPlan,
+    Eui64Iid,
+    FixedIid,
+    PrivacyIid,
+    PseudorandomNetidPlan,
+    StaticIspPlan,
+    TelcoStructuredPlan,
+    UniversityPlan,
+    make_device,
+)
+
+
+def device(sub=0, index=0):
+    return make_device(seed=1, network="net", subscriber_id=sub, device_index=index)
+
+
+class TestIidPolicies:
+    def test_privacy_changes_daily(self):
+        policy = PrivacyIid()
+        d = device()
+        assert policy.iid(1, "n", d, 0) != policy.iid(1, "n", d, 1)
+
+    def test_privacy_u_bit_cleared(self):
+        policy = PrivacyIid()
+        for day in range(50):
+            iid = policy.iid(1, "n", device(), day)
+            assert mac.iid_u_bit(iid) == 0
+
+    def test_privacy_deterministic(self):
+        policy = PrivacyIid()
+        d = device()
+        assert policy.iid(1, "n", d, 3) == policy.iid(1, "n", d, 3)
+
+    def test_eui64_fixed_and_marked(self):
+        policy = Eui64Iid()
+        d = device()
+        iid = policy.iid(1, "n", d, 0)
+        assert iid == policy.iid(1, "n", d, 99)
+        assert mac.is_eui64_iid(iid)
+        assert mac.eui64_to_mac(iid) == d.mac
+
+    def test_fixed_iid(self):
+        policy = FixedIid(1, name="one")
+        assert policy.iid(1, "n", device(), 5) == 1
+        with pytest.raises(ValueError):
+            FixedIid(1 << 64)
+
+    def test_make_device_macs_universal(self):
+        for sub in range(20):
+            d = make_device(1, "net", sub, 0)
+            assert not mac.is_locally_administered(d.mac)
+            assert not mac.is_group(d.mac)
+
+
+class TestStaticIspPlan:
+    def make(self, delegation=48):
+        prefix = Prefix(addr.parse("2400:100::"), 32)
+        return StaticIspPlan("jp", seed=1, prefix=prefix, delegation_len=delegation)
+
+    def test_network_id_stable_across_days(self):
+        plan = self.make()
+        assert plan.network_identifier(7, 0) == plan.network_identifier(7, 365)
+        assert plan.network_is_stable()
+
+    def test_network_id_within_prefix(self):
+        plan = self.make()
+        for sub in range(20):
+            high = plan.network_identifier(sub, 0)
+            assert plan.prefix.contains(high << 64)
+
+    def test_distinct_subscribers_distinct_delegations(self):
+        plan = self.make()
+        slash48s = {plan.network_identifier(sub, 0) >> 16 for sub in range(100)}
+        assert len(slash48s) == 100
+
+    def test_constant_subnet_value_within_delegation(self):
+        # The JP-ISP signature: one 16-bit subnet value per /48, fixed.
+        plan = self.make()
+        high_day0 = plan.network_identifier(5, 0)
+        high_day9 = plan.network_identifier(5, 9)
+        assert (high_day0 & 0xFFFF) == (high_day9 & 0xFFFF)
+
+    def test_delegation_length_validated(self):
+        with pytest.raises(ValueError):
+            self.make(delegation=24)
+
+
+class TestDynamicPoolPlan:
+    def make(self):
+        prefixes = [
+            Prefix(addr.parse("2600:100::") + (i << 84), 44) for i in range(4)
+        ]
+        return DynamicPoolPlan("mobile", seed=1, prefixes=prefixes, pool_bits=12)
+
+    def test_network_changes_between_days(self):
+        plan = self.make()
+        networks = {plan.network_identifier(3, day) for day in range(10)}
+        assert len(networks) > 5
+        assert not plan.network_is_stable()
+
+    def test_network_within_some_pool(self):
+        plan = self.make()
+        for day in range(5):
+            high = plan.network_identifier(0, day)
+            assert any(p.contains(high << 64) for p in plan.prefixes)
+
+    def test_pool_bits_bound_slot_range(self):
+        plan = self.make()
+        for sub in range(30):
+            high = plan.network_identifier(sub, 0)
+            slot = high & ((1 << 20) - 1)  # bits 44..63
+            assert slot < (1 << 12)
+
+    def test_64_reuse_across_subscribers(self):
+        # With a small pool and many draws, distinct subscribers collide.
+        plan = self.make()
+        seen = {}
+        collision = False
+        for sub in range(300):
+            for day in range(7):
+                high = plan.network_identifier(sub, day)
+                if high in seen and seen[high] != sub:
+                    collision = True
+                seen.setdefault(high, sub)
+        assert collision
+
+    def test_requires_pools(self):
+        with pytest.raises(ValueError):
+            DynamicPoolPlan("m", 1, [])
+
+
+class TestPseudorandomNetidPlan:
+    def make(self):
+        return PseudorandomNetidPlan(
+            "eu", seed=1, prefix=Prefix(addr.parse("2a00:200::"), 32), rotate_days=7
+        )
+
+    def test_bit40_constant_zero(self):
+        plan = self.make()
+        for sub in range(30):
+            high = plan.network_identifier(sub, 0)
+            assert (high >> 23) & 1 == 0  # address bit 40
+
+    def test_random15_rotates(self):
+        plan = self.make()
+        networks = {plan.network_identifier(2, day) for day in range(0, 70, 7)}
+        assert len(networks) > 3
+
+    def test_stable_within_rotation_period(self):
+        plan = self.make()
+        # Two adjacent days usually share the network id (not across a
+        # rotation boundary for every subscriber, so check one that does).
+        matches = sum(
+            plan.network_identifier(sub, 0) == plan.network_identifier(sub, 1)
+            for sub in range(50)
+        )
+        assert matches > 30
+
+    def test_final_octet_skewed_to_0_and_1(self):
+        plan = self.make()
+        octets = [plan.network_identifier(sub, 0) & 0xFF for sub in range(500)]
+        low_share = sum(1 for o in octets if o in (0, 1)) / len(octets)
+        assert low_share > 0.6
+        assert len(set(octets)) > 20  # but many values occur
+
+    def test_prefix_length_validated(self):
+        with pytest.raises(ValueError):
+            PseudorandomNetidPlan(
+                "x", 1, Prefix(addr.parse("2a00:200::"), 44)
+            )
+
+
+class TestUniversityPlan:
+    def make(self):
+        return UniversityPlan(
+            "univ", seed=1, prefix=Prefix(addr.parse("2600:400::"), 32)
+        )
+
+    def test_only_three_subnet_values(self):
+        plan = self.make()
+        nybbles = {
+            addr.nybble(plan.network_identifier(sub, 0) << 64, 8)
+            for sub in range(300)
+        }
+        assert nybbles <= set(plan.subnet_values)
+        assert len(nybbles) == 3
+
+    def test_requires_slash32(self):
+        with pytest.raises(ValueError):
+            UniversityPlan("u", 1, Prefix(addr.parse("2600:400::"), 40))
+
+
+class TestDenseDhcpPlan:
+    def make(self):
+        return DenseDhcpPlan(
+            "dept", seed=1, prefix=Prefix(addr.parse("2a00:300:0:101::"), 64)
+        )
+
+    def test_single_64(self):
+        plan = self.make()
+        networks = {plan.network_identifier(sub, 0) for sub in range(50)}
+        assert len(networks) == 1
+
+    def test_hosts_packed_in_low_16_bits(self):
+        plan = self.make()
+        for sub in range(50):
+            d = Device(subscriber_id=sub, device_index=0, mac=0)
+            address, truth = plan.address(d, 0)
+            iid = address & ((1 << 64) - 1)
+            host = iid & 0xFFFF
+            assert plan.host_base <= host < plan.host_base + 0x200
+            assert truth.is_stable_assignment
+
+    def test_addresses_static_across_days(self):
+        plan = self.make()
+        d = Device(subscriber_id=3, device_index=0, mac=0)
+        assert plan.address(d, 0)[0] == plan.address(d, 100)[0]
+
+
+class TestTelcoStructuredPlan:
+    def make(self):
+        return TelcoStructuredPlan(
+            "telco", seed=1, prefix=Prefix(addr.parse("2400:600::"), 32)
+        )
+
+    def test_static_population_structured(self):
+        plan = self.make()
+        statics = [sub for sub in range(100) if plan._is_static(sub)]
+        assert statics
+        d = Device(subscriber_id=statics[0], device_index=0, mac=0)
+        address, truth = plan.address(d, 0)
+        assert truth.iid_policy == "structured"
+        assert classify_iid(address & ((1 << 64) - 1)) is IidKind.STRUCTURED
+
+    def test_dynamic_population_privacy(self):
+        plan = self.make()
+        dynamics = [sub for sub in range(100) if not plan._is_static(sub)]
+        d = Device(subscriber_id=dynamics[0], device_index=0, mac=0)
+        _address, truth = plan.address(d, 0)
+        assert truth.is_privacy
+
+
+class TestGroundTruth:
+    def test_labels_consistent(self):
+        plan = StaticIspPlan(
+            "isp", seed=1, prefix=Prefix(addr.parse("2a00:700::"), 32)
+        )
+        d = make_device(1, "isp", 0, 0)
+        address, truth = plan.address(d, 0)
+        assert truth.network == "isp"
+        assert truth.plan == "static-isp"
+        assert truth.subscriber_id == 0
+        if truth.iid_policy == "privacy":
+            assert truth.is_privacy
+            assert not truth.is_stable_assignment
+        else:
+            assert truth.is_stable_assignment

@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.population: aggregate population CCDFs."""
+
+import numpy as np
+import pytest
+
+from repro.core.population import (
+    aggregate_populations,
+    average_per_aggregate,
+    figure3_series,
+    population_ccdf,
+)
+from repro.net import addr
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+class TestPopulations:
+    def test_counts_per_aggregate(self):
+        values = [p("2001:db8::1"), p("2001:db8::2"), p("2a00::1")]
+        populations = sorted(aggregate_populations(values, 32).tolist())
+        assert populations == [1, 2]
+
+    def test_sum_equals_total(self):
+        values = [p("2001:db8::") + i for i in range(10)] + [p("2a00::1")]
+        populations = aggregate_populations(values, 48)
+        assert populations.sum() == 11
+
+    def test_aggregate_above_64(self):
+        values = [p("2001:db8::1"), p("2001:db8::2"), p("2001:db8::1:1")]
+        populations = sorted(aggregate_populations(values, 112).tolist())
+        assert populations == [1, 2]
+
+    def test_empty(self):
+        assert aggregate_populations([], 32).shape[0] == 0
+
+    def test_average(self):
+        values = [p("2001:db8::1"), p("2001:db8::2"), p("2a00::1")]
+        assert average_per_aggregate(values, 64) == pytest.approx(1.5)
+        assert average_per_aggregate([], 64) == 0.0
+
+
+class TestCcdf:
+    def test_proportions(self):
+        # Populations: [1, 1, 2, 10] -> P(>=1)=1, P(>=2)=0.5, P(>=10)=0.25.
+        values = (
+            [p("2001:db8::1")]
+            + [p("2a00::1")]
+            + [p("2400::") + i for i in range(2)]
+            + [p("2600:1::") + i for i in range(10)]
+        )
+        ccdf = population_ccdf(values, 48)
+        assert ccdf.num_aggregates == 4
+        assert ccdf.proportion_at_least(1) == pytest.approx(1.0)
+        assert ccdf.proportion_at_least(2) == pytest.approx(0.5)
+        assert ccdf.proportion_at_least(10) == pytest.approx(0.25)
+        assert ccdf.proportion_at_least(11) == pytest.approx(0.0)
+
+    def test_points_are_steps(self):
+        values = [p("2001:db8::1"), p("2001:db8::2"), p("2a00::1")]
+        points = population_ccdf(values, 32).points()
+        assert points[0] == (1.0, 1.0)
+        assert points[-1][0] == 2.0
+
+    def test_default_label(self):
+        assert population_ccdf([1], 48).label == "48-agg."
+
+    def test_empty_ccdf(self):
+        ccdf = population_ccdf([], 48)
+        assert ccdf.points() == []
+        assert ccdf.proportion_at_least(1) == 0.0
+
+
+class TestFigure3:
+    def test_five_series(self):
+        values = [p("2001:db8::") + i for i in range(20)]
+        series = figure3_series(values)
+        labels = [s.label for s in series]
+        assert labels == [
+            "32-agg. of IPv6 addrs",
+            "32-agg. of /64s",
+            "48-agg. of IPv6 addrs",
+            "48-agg. of /64s",
+            "112-agg of IPv6 addrs",
+        ]
+
+    def test_concentration_shape(self):
+        # Addresses concentrated in one /48 plus a scattering: the /48
+        # CCDF has a long tail (few prefixes hold most addresses).
+        dense = [p("2001:db8::") + i for i in range(100)]
+        scattered = [p("2a00::") + (i << 80) for i in range(10)]
+        series = figure3_series(dense + scattered)
+        addrs48 = next(s for s in series if s.label == "48-agg. of IPv6 addrs")
+        # Most /48 aggregates are tiny; only a small share holds >= 100.
+        assert addrs48.proportion_at_least(100) < 0.2
+        assert addrs48.proportion_at_least(1) == 1.0

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.signature: MRA-signature classification."""
+
+import random
+
+import pytest
+
+from repro.core.signature import (
+    MIN_ADDRESSES,
+    PrefixClass,
+    class_histogram,
+    classify_addresses,
+    classify_groups,
+    extract_features,
+)
+from repro.core.mra import profile
+from repro.net import addr
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+def privacy_population(num_64s=6, per_64=150, seed=3):
+    rng = random.Random(seed)
+    values = []
+    for index in range(num_64s):
+        high = (p("2001:db8::") >> 64) | index
+        for _ in range(per_64):
+            values.append((high << 64) | (rng.getrandbits(64) & ~(1 << 57)))
+    return values
+
+
+def dense_population(blocks=4, per_block=60):
+    values = []
+    for block in range(blocks):
+        base = p("2400:100:0:8::") + (block << 16)
+        values.extend(base + i for i in range(per_block))
+    return values
+
+
+def pool_population(slots=512, seed=5):
+    rng = random.Random(seed)
+    values = []
+    base = p("2600:100::") >> 64
+    for _ in range(slots * 2):
+        slot = rng.getrandbits(9)
+        values.append(((base | slot) << 64) | 1)
+    return list(set(values))
+
+
+def structured_population(per_64=12, num_64s=3):
+    # Widely spaced structured IIDs in a few /64s: no privacy plateau,
+    # no dense tail, no pool-style subnet churn.
+    values = []
+    for subnet in range(num_64s):
+        high = (p("2a00:900::") >> 64) + subnet
+        for host in range(per_64):
+            values.append(addr.from_halves(high, (0x10 << 40) | (host << 24)))
+    return values
+
+
+class TestClassification:
+    def test_privacy_slaac(self):
+        cls, features = classify_addresses(privacy_population())
+        assert cls is PrefixClass.PRIVACY_SLAAC
+        assert features.iid_plateau > 1.7
+
+    def test_dense_block(self):
+        cls, features = classify_addresses(dense_population())
+        assert cls is PrefixClass.DENSE_BLOCK
+        assert features.tail_prominence > 1.5
+
+    def test_pool_saturated(self):
+        cls, features = classify_addresses(pool_population())
+        assert cls is PrefixClass.POOL_SATURATED
+        assert features.subnet_use > 64
+
+    def test_structured(self):
+        cls, _features = classify_addresses(structured_population())
+        assert cls is PrefixClass.STRUCTURED
+
+    def test_pool_vs_spread_statics_ambiguity(self):
+        # Sequential one-address /64s with fixed IIDs are spatially the
+        # same shape a dynamic pool leaves behind: the MRA signature
+        # cannot tell them apart from one snapshot (the paper's temporal
+        # classifier exists precisely for such cases).
+        spread = [
+            addr.from_halves((p("2a00:900::") >> 64) + i, (0x10 << 16) | 0x100)
+            for i in range(100)
+        ]
+        cls, _features = classify_addresses(spread)
+        assert cls is PrefixClass.POOL_SATURATED
+
+    def test_unknown_below_minimum(self):
+        cls, features = classify_addresses([1, 2, 3])
+        assert cls is PrefixClass.UNKNOWN
+        assert features.size == 3
+        assert features.size < MIN_ADDRESSES
+
+
+class TestFeatures:
+    def test_features_from_profile(self):
+        features = extract_features(profile(privacy_population()))
+        assert features.u_bit_dip < 0.8
+        assert features.tail_prominence < 1.2
+
+    def test_size_matches(self):
+        values = dense_population()
+        features = extract_features(profile(values))
+        assert features.size == len(set(values))
+
+
+class TestGroups:
+    def test_classify_groups_and_histogram(self):
+        groups = [
+            ("privacy-net", privacy_population()),
+            ("dense-net", dense_population()),
+            ("tiny", [1, 2]),
+        ]
+        results = classify_groups(groups)
+        assert results[0][1] is PrefixClass.PRIVACY_SLAAC
+        assert results[1][1] is PrefixClass.DENSE_BLOCK
+        assert results[2][1] is PrefixClass.UNKNOWN
+        histogram = class_histogram(results)
+        assert histogram[PrefixClass.PRIVACY_SLAAC] == 1
+        assert histogram[PrefixClass.DENSE_BLOCK] == 1
+        assert histogram[PrefixClass.UNKNOWN] == 1
+        assert sum(histogram.values()) == 3

@@ -1,0 +1,155 @@
+"""Unit tests for the simulator substrate: rng, registry, subscribers."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.sim import rng
+from repro.sim.registry import RIR_BLOCKS, AddressRegistry
+from repro.sim.subscribers import Population
+
+
+class TestRng:
+    def test_substreams_deterministic(self):
+        a = rng.substream(1, "x", 2).random()
+        b = rng.substream(1, "x", 2).random()
+        assert a == b
+
+    def test_substreams_independent_by_key(self):
+        assert rng.substream(1, "x").random() != rng.substream(1, "y").random()
+
+    def test_substreams_independent_by_seed(self):
+        assert rng.substream(1, "x").random() != rng.substream(2, "x").random()
+
+    def test_stable_u64_deterministic(self):
+        assert rng.stable_u64(3, "a", 1) == rng.stable_u64(3, "a", 1)
+        assert rng.stable_u64(3, "a", 1) != rng.stable_u64(3, "a", 2)
+
+    def test_stable_uniform_in_range(self):
+        values = [rng.stable_uniform(5, "u", index) for index in range(1000)]
+        assert all(0.0 <= value < 1.0 for value in values)
+        # Roughly uniform: mean near 0.5.
+        assert 0.45 < sum(values) / len(values) < 0.55
+
+    def test_numpy_substream(self):
+        a = rng.numpy_substream(1, "n").integers(0, 100, size=5)
+        b = rng.numpy_substream(1, "n").integers(0, 100, size=5)
+        assert a.tolist() == b.tolist()
+
+
+class TestRegistry:
+    def test_allocations_do_not_overlap(self):
+        registry = AddressRegistry(seed=0)
+        for index in range(50):
+            registry.allocate(f"isp-{index}", "US", "isp", [32])
+        prefixes = [
+            prefix
+            for allocation in registry.allocations
+            for prefix in allocation.prefixes
+        ]
+        spans = sorted((prefix.first, prefix.last) for prefix in prefixes)
+        for (a_first, a_last), (b_first, b_last) in zip(spans, spans[1:]):
+            assert a_last < b_first
+
+    def test_allocations_land_in_rir_block(self):
+        registry = AddressRegistry(seed=0)
+        allocation = registry.allocate("isp-de", "DE", "isp", [32])
+        ripe = next(block for block in RIR_BLOCKS if block.name == "RIPE")
+        assert ripe.prefix.contains(allocation.prefixes[0])
+
+    def test_multiple_prefixes_per_asn(self):
+        registry = AddressRegistry(seed=0)
+        allocation = registry.allocate("mobile", "US", "mobile", [44] * 10)
+        assert len(allocation.prefixes) == 10
+        assert all(prefix.length == 44 for prefix in allocation.prefixes)
+
+    def test_origin_lookup(self):
+        registry = AddressRegistry(seed=0)
+        a = registry.allocate("a", "US", "isp", [32])
+        b = registry.allocate("b", "JP", "isp", [32])
+        inside_a = a.prefixes[0].network + 12345
+        assert registry.origin(inside_a) is a
+        assert registry.origin_prefix(inside_a) == a.prefixes[0]
+        assert registry.origin(b.prefixes[0].network) is b
+        assert registry.origin(0x3FFF << 112) is None  # unallocated space
+
+    def test_origin_after_incremental_allocation(self):
+        registry = AddressRegistry(seed=0)
+        a = registry.allocate("a", "US", "isp", [32])
+        assert registry.origin(a.prefixes[0].network) is a
+        b = registry.allocate("b", "US", "isp", [32])
+        assert registry.origin(b.prefixes[0].network) is b
+
+    def test_group_by_asn(self):
+        registry = AddressRegistry(seed=0)
+        a = registry.allocate("a", "US", "isp", [32])
+        b = registry.allocate("b", "JP", "isp", [32])
+        values = [a.prefixes[0].network + 1, a.prefixes[0].network + 2,
+                  b.prefixes[0].network + 1, 0x3FFF << 112]
+        groups = registry.group_by_asn(values)
+        assert len(groups[a.asn]) == 2
+        assert len(groups[b.asn]) == 1
+        assert len(groups) == 2  # unrouted dropped
+
+    def test_deterministic_given_seed(self):
+        r1 = AddressRegistry(seed=5)
+        r2 = AddressRegistry(seed=5)
+        a1 = r1.allocate("x", "US", "isp", [32, 48])
+        a2 = r2.allocate("x", "US", "isp", [32, 48])
+        assert [str(p) for p in a1.prefixes] == [str(p) for p in a2.prefixes]
+
+    def test_bad_length_rejected(self):
+        registry = AddressRegistry(seed=0)
+        with pytest.raises(ValueError):
+            registry.allocate("x", "US", "isp", [8])
+        with pytest.raises(ValueError):
+            registry.allocate("x", "US", "isp", [72])
+
+
+class TestPopulation:
+    def make(self, size=100):
+        return Population(
+            network="net", seed=1, size=size, start_day=0, end_day=100,
+            start_fraction=0.5,
+        )
+
+    def test_growth_monotone(self):
+        population = self.make()
+        counts = [population.joined_count(day) for day in range(0, 120, 10)]
+        assert counts == sorted(counts)
+        assert counts[0] == 50
+        assert counts[-1] == 100
+
+    def test_cohort_deterministic_and_cached(self):
+        population = self.make()
+        assert population.cohort(7) == population.cohort(7)
+
+    def test_cohort_shares_roughly_match(self):
+        population = self.make(size=4000)
+        labels = [population.cohort(i)[0] for i in range(4000)]
+        daily_share = labels.count("daily") / 4000
+        assert 0.40 < daily_share < 0.50
+
+    def test_devices_deterministic(self):
+        population = self.make()
+        first = population.devices(3)
+        second = population.devices(3)
+        assert first is second  # cached
+        assert 1 <= len(first) <= population.max_devices
+
+    def test_not_joined_never_active(self):
+        population = self.make()
+        # Subscriber 99 joins only at the end; never active on day 0.
+        assert not population.is_active(99, 0)
+
+    def test_daily_cohort_usually_active(self):
+        population = self.make(size=2000)
+        daily_ids = [
+            i for i in range(1000) if population.cohort(i)[0] == "daily"
+        ]
+        active = sum(population.is_active(i, 100) for i in daily_ids)
+        assert active / len(daily_ids) > 0.85
+
+    def test_first_device_always_active(self):
+        population = self.make()
+        device = population.devices(0)[0]
+        assert population.device_is_active(device, 5)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.net.special: transition mechanisms, special prefixes."""
+
+import pytest
+
+from repro.net import addr, special
+
+
+class TestTransitionPredicates:
+    def test_6to4(self):
+        assert special.is_6to4(addr.parse("2002:c000:204::1"))
+        assert not special.is_6to4(addr.parse("2001:db8::1"))
+
+    def test_teredo(self):
+        assert special.is_teredo(addr.parse("2001:0:53aa:64c::1"))
+        assert not special.is_teredo(addr.parse("2001:db8::1"))  # 2001:db8 != 2001:0
+
+    def test_isatap_both_u_bit_variants(self):
+        assert special.is_isatap(addr.parse("2001:db8::200:5efe:c000:204"))
+        assert special.is_isatap(addr.parse("2001:db8::5efe:c000:204"))
+        assert not special.is_isatap(addr.parse("2001:db8::1"))
+
+    def test_isatap_marker_must_be_aligned(self):
+        # 5efe elsewhere in the IID is not ISATAP: here it sits in the
+        # third IID segment rather than at bits 64..95.
+        assert not special.is_isatap(addr.parse("2001:db8::0:5efe:1"))
+
+
+class TestScopePredicates:
+    def test_global_unicast(self):
+        assert special.is_global_unicast(addr.parse("2001:db8::1"))
+        assert special.is_global_unicast(addr.parse("3fff::1"))
+        assert not special.is_global_unicast(addr.parse("fe80::1"))
+        assert not special.is_global_unicast(addr.parse("::1"))
+
+    def test_link_local(self):
+        assert special.is_link_local(addr.parse("fe80::1"))
+        assert not special.is_link_local(addr.parse("fec0::1"))
+
+    def test_multicast(self):
+        assert special.is_multicast(addr.parse("ff02::1"))
+        assert not special.is_multicast(addr.parse("fe80::1"))
+
+    def test_ula(self):
+        assert special.is_ula(addr.parse("fd12:3456::1"))
+        assert special.is_ula(addr.parse("fc00::1"))
+        assert not special.is_ula(addr.parse("fe80::1"))
+
+
+class TestEmbeddedIPv4:
+    def test_6to4_extraction(self):
+        value = addr.parse("2002:c000:0204::1")
+        assert special.embedded_ipv4_6to4(value) == 0xC0000204
+        assert special.format_ipv4(0xC0000204) == "192.0.2.4"
+
+    def test_6to4_extraction_none_for_other(self):
+        assert special.embedded_ipv4_6to4(addr.parse("2001:db8::1")) is None
+
+    def test_teredo_extraction_is_xored(self):
+        # Client IPv4 192.0.2.1 is stored XOR 0xffffffff.
+        obfuscated = 0xC0000201 ^ 0xFFFFFFFF
+        value = (0x20010000 << 96) | obfuscated
+        assert special.embedded_ipv4_teredo(value) == 0xC0000201
+
+    def test_isatap_extraction(self):
+        value = addr.parse("2001:db8::200:5efe:c0a8:101")
+        assert special.embedded_ipv4_isatap(value) == 0xC0A80101
+
+    def test_format_ipv4_range_check(self):
+        with pytest.raises(addr.AddressError):
+            special.format_ipv4(1 << 32)
+
+
+class TestSpecialClass:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("2001::1", "teredo"),
+            ("2002:c000:204::1", "6to4"),
+            ("2001:db8::1", "documentation"),
+            ("64:ff9b::c000:201", "nat64"),
+            ("::ffff:c000:201", "ipv4-mapped"),
+            ("fd00::1", "ula"),
+            ("fe80::1", "link-local"),
+            ("ff02::1", "multicast"),
+            ("2a00:1450::1", None),
+        ],
+    )
+    def test_classification(self, text, expected):
+        assert special.special_class(addr.parse(text)) == expected
+
+    def test_registry_well_formed(self):
+        for name, prefix in special.SPECIAL_PREFIXES.items():
+            assert prefix.length <= 128
+            assert isinstance(name, str) and name

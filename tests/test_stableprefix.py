@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.stableprefix: §7.2 longest stable prefixes."""
+
+import random
+
+import pytest
+
+from repro.core.stableprefix import (
+    longest_stable_prefixes,
+    plan_boundary_estimate,
+)
+from repro.data.store import ObservationStore
+from repro.net import addr
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+def privacy_iid(rng: random.Random) -> int:
+    return rng.getrandbits(64) & ~(1 << 57)
+
+
+class TestBasicDiscovery:
+    def test_stable_address_is_its_own_longest_prefix(self):
+        store = ObservationStore()
+        store.add_day(0, [p("2001:db8::1")])
+        store.add_day(5, [p("2001:db8::1")])
+        report = longest_stable_prefixes(store, n=3, lengths=(128, 64, 48))
+        assert (p("2001:db8::1"), 128) in report.prefixes
+        # The /64 is suppressed: its stability is witnessed by a longer
+        # stable prefix inside it.
+        assert (p("2001:db8::"), 64) not in report.prefixes
+
+    def test_churning_iids_expose_the_64(self):
+        rng = random.Random(1)
+        store = ObservationStore()
+        high = p("2001:db8:1:2::") >> 64
+        store.add_day(0, [(high << 64) | privacy_iid(rng) for _ in range(20)])
+        store.add_day(5, [(high << 64) | privacy_iid(rng) for _ in range(20)])
+        report = longest_stable_prefixes(store, n=3, lengths=(128, 96, 64, 48))
+        assert report.prefixes == [(high << 64, 64)]
+        assert report.dominant_length() == 64
+
+    def test_nothing_stable(self):
+        store = ObservationStore()
+        store.add_day(0, [p("2001:db8::1")])
+        store.add_day(5, [p("2a00::2")])
+        report = longest_stable_prefixes(store, n=3, lengths=(128, 64))
+        assert report.prefixes == []
+        assert report.dominant_length() == 0
+
+    def test_gap_must_meet_n(self):
+        store = ObservationStore()
+        store.add_day(0, [p("2001:db8::1")])
+        store.add_day(2, [p("2001:db8::1")])
+        report = longest_stable_prefixes(store, n=3, lengths=(128,))
+        assert report.prefixes == []
+        report = longest_stable_prefixes(store, n=2, lengths=(128,))
+        assert len(report.prefixes) == 1
+
+    def test_requires_lengths(self):
+        with pytest.raises(ValueError):
+            longest_stable_prefixes(ObservationStore(), lengths=())
+
+
+class TestPoolBoundaryRecovery:
+    """The §7.1/§7.2 motivation: recover a mobile carrier's pool boundary."""
+
+    def test_dynamic_64s_from_stable_44_pool(self):
+        # Subscribers draw a fresh /64 each day from a /44 pool (20 slot
+        # bits) and use a fixed IID.  Individual /64s essentially never
+        # repeat, so no stable prefix reaches /64; repetition — and hence
+        # the longest stable prefixes — concentrates at the pool's upper
+        # levels.  Counting stable /64s here would miscount subscribers,
+        # which is the §7.1 point this method addresses.
+        rng = random.Random(4)
+        pool = p("2600:1000::")  # a /44-aligned base
+        store = ObservationStore()
+        for day in (0, 2, 5, 7):
+            addresses = []
+            for _subscriber in range(8):
+                slot = rng.getrandbits(20)  # bits 44..63
+                addresses.append(pool | (slot << 64) | 1)
+            store.add_day(day, addresses)
+        lengths = tuple(range(128, 40, -4))
+        report = longest_stable_prefixes(store, n=3, lengths=lengths)
+        assert report.prefixes, "the pool level must show stability"
+        assert max(length for _n, length in report.prefixes) <= 60
+        assert 44 <= report.dominant_length() <= 56
+        assert plan_boundary_estimate(store, n=3, lengths=lengths) == (
+            report.dominant_length()
+        )
+
+    def test_static_plan_reports_subscriber_boundary(self):
+        # Static /64 per subscriber with churning privacy IIDs: the /64s
+        # themselves are the longest stable prefixes.
+        rng = random.Random(9)
+        store = ObservationStore()
+        highs = [(p("2a00:1::") >> 64) + i for i in range(30)]
+        for day in (0, 4, 8):
+            store.add_day(
+                day, [(h << 64) | privacy_iid(rng) for h in highs]
+            )
+        report = longest_stable_prefixes(store, n=3, lengths=tuple(range(128, 40, -4)))
+        assert report.dominant_length() == 64
+        # A few /64s land deeper by 4-bit nybble coincidence (about 3/16
+        # of them with three qualifying day pairs); the bulk sit at 64.
+        assert report.by_length()[64] >= 20
+        assert sum(report.by_length().values()) == 30

@@ -1,0 +1,159 @@
+"""Unit tests for repro.data.store: the observation store."""
+
+import numpy as np
+import pytest
+
+from repro.data import store as obstore
+from repro.data.store import DailyObservations, ObservationStore, day_date, day_number
+from repro.net import addr
+
+
+def p(text: str) -> int:
+    return addr.parse(text)
+
+
+class TestDayNumbers:
+    def test_epoch(self):
+        assert day_number("2014-01-01") == 0
+
+    def test_paper_epochs_ordering(self):
+        march14 = day_number("2014-03-17")
+        sept14 = day_number("2014-09-17")
+        march15 = day_number("2015-03-17")
+        assert march14 < sept14 < march15
+        assert sept14 - march14 == 184
+        assert march15 - sept14 == 181
+
+    def test_roundtrip(self):
+        assert day_number(day_date(440)) == 440
+
+    def test_accepts_date_objects(self):
+        import datetime
+
+        assert day_number(datetime.date(2014, 1, 2)) == 1
+
+
+class TestArrays:
+    def test_to_array_sorts_and_dedupes(self):
+        array = obstore.to_array([5, 1, 5, 3])
+        assert obstore.from_array(array) == [1, 3, 5]
+
+    def test_roundtrip_preserves_128_bits(self):
+        values = [0, 1, (1 << 128) - 1, 1 << 64, (1 << 64) - 1]
+        assert obstore.from_array(obstore.to_array(values)) == sorted(values)
+
+    def test_sorted_order_is_numeric(self):
+        # hi must dominate lo in the sort.
+        values = [(1 << 64) | 0, 0xFFFFFFFFFFFFFFFF]
+        assert obstore.from_array(obstore.to_array(values)) == sorted(values)
+
+    def test_set_operations(self):
+        a = obstore.to_array([1, 2, 3])
+        b = obstore.to_array([2, 3, 4])
+        assert obstore.from_array(obstore.intersect(a, b)) == [2, 3]
+        assert obstore.from_array(obstore.union(a, b)) == [1, 2, 3, 4]
+        assert obstore.from_array(obstore.difference(a, b)) == [1]
+
+    def test_member_mask(self):
+        a = obstore.to_array([1, 2, 3])
+        b = obstore.to_array([2, 9])
+        assert obstore.member_mask(a, b).tolist() == [False, True, False]
+
+    def test_member_mask_empty_haystack(self):
+        a = obstore.to_array([1, 2])
+        empty = obstore.to_array([])
+        assert obstore.member_mask(a, empty).tolist() == [False, False]
+
+    def test_union_many_empty(self):
+        assert obstore.array_size(obstore.union_many([])) == 0
+
+
+class TestTruncation:
+    def test_truncate_to_64(self):
+        values = [p("2001:db8::1"), p("2001:db8::2"), p("2001:db9::1")]
+        truncated = obstore.truncate_array(obstore.to_array(values), 64)
+        assert obstore.from_array(truncated) == [p("2001:db8::"), p("2001:db9::")]
+
+    def test_truncate_above_64(self):
+        values = [p("2001:db8::1"), p("2001:db8::2"), p("2001:db8::1:0")]
+        truncated = obstore.truncate_array(obstore.to_array(values), 112)
+        assert obstore.from_array(truncated) == [p("2001:db8::"), p("2001:db8::1:0")]
+
+    def test_truncate_to_zero_collapses(self):
+        values = [p("2001:db8::1"), p("2a00::1")]
+        truncated = obstore.truncate_array(obstore.to_array(values), 0)
+        assert obstore.from_array(truncated) == [0]
+
+    def test_truncate_128_identity(self):
+        array = obstore.to_array([1, 2, 3])
+        assert obstore.from_array(obstore.truncate_array(array, 128)) == [1, 2, 3]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            obstore.truncate_array(obstore.to_array([1]), 129)
+
+
+class TestDailyObservations:
+    def test_basic(self):
+        day = DailyObservations(5, [3, 1, 3])
+        assert day.day == 5
+        assert len(day) == 2
+        assert day.as_ints() == [1, 3]
+
+    def test_hits_summed_per_unique_address(self):
+        day = DailyObservations(0, [1, 2, 1], hits=[10, 5, 7])
+        assert day.as_ints() == [1, 2]
+        assert day.hits.tolist() == [17, 5]
+
+    def test_hits_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DailyObservations(0, [1, 2], hits=[1])
+
+    def test_truncated(self):
+        day = DailyObservations(0, [p("2001:db8::1"), p("2001:db8::2")])
+        assert day.truncated(64).as_ints() == [p("2001:db8::")]
+
+
+class TestObservationStore:
+    def test_add_and_get(self):
+        store = ObservationStore()
+        store.add_day(3, [1, 2])
+        assert 3 in store
+        assert 4 not in store
+        assert store.days() == [3]
+        assert obstore.from_array(store.array(3)) == [1, 2]
+
+    def test_missing_day_is_empty(self):
+        store = ObservationStore()
+        assert obstore.array_size(store.array(9)) == 0
+        assert store.get(9) is None
+
+    def test_union_over(self):
+        store = ObservationStore()
+        store.add_day(0, [1, 2])
+        store.add_day(1, [2, 3])
+        assert obstore.from_array(store.union_over([0, 1, 7])) == [1, 2, 3]
+
+    def test_truncated_store(self):
+        store = ObservationStore()
+        store.add_day(0, [p("2001:db8::1"), p("2001:db8::2")])
+        derived = store.truncated(64)
+        assert obstore.from_array(derived.array(0)) == [p("2001:db8::")]
+
+    def test_iter_days_chronological(self):
+        store = ObservationStore()
+        store.add_day(5, [1])
+        store.add_day(2, [1])
+        assert [d.day for d in store.iter_days()] == [2, 5]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ObservationStore()
+        store.add_day(0, [p("2001:db8::1"), 1], hits=[4, 2])
+        store.add_day(1, [2])
+        path = str(tmp_path / "store.npz")
+        store.save(path)
+        loaded = ObservationStore.load(path)
+        assert loaded.days() == [0, 1]
+        assert obstore.from_array(loaded.array(0)) == [1, p("2001:db8::1")]
+        assert loaded.get(0).hits.tolist() == [2, 4]
+        assert loaded.get(1).hits is None

@@ -1,0 +1,148 @@
+"""Unit tests for analysis.tables, data.logfile and the CLI entry points."""
+
+import pytest
+
+from repro.analysis.tables import count_with_share, percent, render_table, si_count
+from repro.cli import main_census, main_dense, main_mra, main_stability
+from repro.data import logfile
+from repro.data.store import ObservationStore
+from repro.net import addr
+
+
+class TestSiCount:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (30_100_000, "30.1M"),
+            (1_810_000_000, "1.81B"),
+            (64_200, "64.2K"),
+            (1_810_000_000_000, "1.81T"),
+            (153_000_000, "153M"),
+            (999, "999"),
+            (0, "0"),
+            (12, "12"),
+        ],
+    )
+    def test_paper_style(self, value, expected):
+        assert si_count(value) == expected
+
+    def test_negative(self):
+        assert si_count(-1500) == "-1.50K"
+
+
+class TestPercent:
+    @pytest.mark.parametrize(
+        "fraction,expected",
+        [
+            (0.0944, "9.44%"),
+            (0.00296, ".296%"),
+            (0.92, "92.0%"),
+            (0.00103, ".103%"),
+            (0.001, ".100%"),
+            (1.0, "100%"),
+        ],
+    )
+    def test_paper_style(self, fraction, expected):
+        assert percent(fraction) == expected
+
+    def test_count_with_share(self):
+        assert count_with_share(30_100_000, 318_000_000) == "30.1M (9.47%)"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        output = render_table(
+            ["name", "count"], [["alpha", "10"], ["b", "2000"]], title="demo"
+        )
+        lines = output.splitlines()
+        assert lines[0] == "demo"
+        assert "-" in lines[2]
+        assert lines[3].startswith("alpha")
+        # Numeric column right-aligned.
+        assert lines[3].endswith("10")
+
+
+class TestLogfile:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "log-0.txt")
+        entries = [(addr.parse("2001:db8::1"), 5), (addr.parse("2a00::2"), 1)]
+        logfile.write_daily_log(path, 17, entries)
+        day, loaded = logfile.read_daily_log(path)
+        assert day == 17
+        assert loaded == entries
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as handle:
+            handle.write("2001:db8::1 5\nnot-an-address 3\n")
+        with pytest.raises(logfile.LogFormatError, match="bad.txt:2"):
+            logfile.read_daily_log(path)
+
+    def test_bad_hit_count(self, tmp_path):
+        path = str(tmp_path / "bad2.txt")
+        with open(path, "w") as handle:
+            handle.write("2001:db8::1 five\n")
+        with pytest.raises(logfile.LogFormatError):
+            logfile.read_daily_log(path)
+
+    def test_store_roundtrip(self, tmp_path):
+        store = ObservationStore()
+        store.add_day(3, [addr.parse("2001:db8::1")], hits=[7])
+        store.add_day(4, [addr.parse("2001:db8::2")])
+        paths = logfile.save_store(store, str(tmp_path))
+        assert len(paths) == 2
+        loaded = logfile.load_store(paths)
+        assert loaded.days() == [3, 4]
+        assert loaded.get(3).hits.tolist() == [7]
+
+    def test_missing_day_header_takes_sequence(self, tmp_path):
+        path = str(tmp_path / "plain.txt")
+        with open(path, "w") as handle:
+            handle.write("2001:db8::1 1\n")
+        store = logfile.load_store([path])
+        assert store.days() == [0]
+
+
+class TestCli:
+    def _logs(self, tmp_path):
+        store = ObservationStore()
+        base = addr.parse("2001:db8::")
+        store.add_day(0, [base + 1, base + 2, base + 3])
+        store.add_day(3, [base + 1])
+        return logfile.save_store(store, str(tmp_path))
+
+    def test_census(self, tmp_path, capsys):
+        assert main_census(self._logs(tmp_path)) == 0
+        output = capsys.readouterr().out
+        assert "Other addresses" in output
+
+    def test_stability(self, tmp_path, capsys):
+        paths = self._logs(tmp_path)
+        assert main_stability(paths + ["--reference", "0", "-n", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "3d-stable" in output
+        assert "1 (33.3%)" in output
+
+    def test_mra(self, tmp_path, capsys):
+        assert main_mra(self._logs(tmp_path) + ["--title", "cli-test"]) == 0
+        output = capsys.readouterr().out
+        assert "cli-test" in output
+        assert "single bits" in output
+
+    def test_dense(self, tmp_path, capsys):
+        assert main_dense(self._logs(tmp_path) + ["--density", "2@/112", "--show", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "2 @ /112" in output
+        assert "dense prefixes" in output
+
+    def test_dense_bad_class(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_dense(self._logs(tmp_path) + ["--density", "nonsense"])
+
+    def test_no_input_errors(self):
+        with pytest.raises(SystemExit):
+            main_census([])
+
+    def test_simulate_path(self, capsys):
+        assert main_census(["--simulate", "0.02", "--seed", "3"]) == 0
+        assert "Census" in capsys.readouterr().out
