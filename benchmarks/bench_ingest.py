@@ -1,0 +1,259 @@
+"""Ingestion pipeline benchmark: text parsing, cache, and parallel loading.
+
+Measures the fast ingestion subsystem against the seed's scalar path on
+a synthetic multi-day store of daily aggregated logs:
+
+* **seed_cold** — the original pure-Python path: per-line ``str.split``,
+  scalar ``addr.parse`` per address, per-element structured-array fill.
+* **fast_cold** — the vectorized columnar reader
+  (:func:`repro.data.logfile.read_daily_log_arrays`).
+* **cache_build** — fast cold parse plus writing the binary columnar
+  day cache (:mod:`repro.data.daycache`).
+* **cache_warm** — re-loading everything from the memory-mapped cache.
+* **parallel_cold** / **parallel_warm** — fanning days out over worker
+  processes with ``load_store(jobs=N)``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py            # full: 30 days x 100k
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick    # CI smoke: 4 days x 5k
+    PYTHONPATH=src python benchmarks/bench_ingest.py --out BENCH_ingest.json
+
+The results (durations, speedups, configuration) are written as JSON;
+the repo keeps a reference run in ``BENCH_ingest.json``.  Not a pytest
+module — run it as a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.data import logfile  # noqa: E402
+from repro.data.store import ADDRESS_DTYPE, DailyObservations, ObservationStore  # noqa: E402
+from repro.net import addr, batchparse  # noqa: E402
+
+
+# --------------------------------------------------------------------------
+# Seed-equivalent scalar path, kept verbatim so the comparison stays honest
+# even as the library's own ingestion keeps improving.
+# --------------------------------------------------------------------------
+
+
+def _seed_read_daily_log(path: str) -> Tuple[Optional[int], List[Tuple[int, int]]]:
+    day: Optional[int] = None
+    entries: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "day=" in line and day is None:
+                    try:
+                        day = int(line.split("day=", 1)[1].split()[0])
+                    except (ValueError, IndexError):
+                        pass
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{line_number}: bad line")
+            address = addr.parse(parts[0])
+            if not parts[1].isdigit():
+                raise ValueError(f"{path}:{line_number}: bad hits")
+            entries.append((address, int(parts[1])))
+    return day, entries
+
+
+def _seed_daily_observations(
+    day: int, addresses: List[int], hits: List[int]
+) -> DailyObservations:
+    raw = np.empty(len(addresses), dtype=ADDRESS_DTYPE)
+    for index, value in enumerate(addresses):
+        addr.check_address(value)
+        raw[index] = (value >> 64, value & addr.IID_MASK)
+    hit_list = np.asarray(list(hits), dtype=np.uint64)
+    unique, inverse = np.unique(raw, return_inverse=True)
+    summed = np.zeros(unique.shape[0], dtype=np.uint64)
+    np.add.at(summed, inverse, hit_list)
+    observations = DailyObservations.from_array(day, unique)
+    observations.hits = summed
+    return observations
+
+
+def _seed_load_store(paths: List[str]) -> ObservationStore:
+    store = ObservationStore()
+    next_day = 0
+    for path in paths:
+        day, entries = _seed_read_daily_log(path)
+        if day is None:
+            day = next_day
+        addresses = [address for address, _hits in entries]
+        hits = [hits for _address, hits in entries]
+        store.add_observations(_seed_daily_observations(day, addresses, hits))
+        next_day = day + 1
+    return store
+
+
+# --------------------------------------------------------------------------
+# Synthetic data + measurement
+# --------------------------------------------------------------------------
+
+
+def _write_synthetic_logs(
+    directory: str, days: int, addrs_per_day: int, seed: int
+) -> List[str]:
+    """Daily logs of random-but-structured addresses with hit counts."""
+    rng = np.random.default_rng(seed)
+    # A pool of /64 networks so days share prefixes like real client logs.
+    networks = rng.integers(0, 1 << 48, size=max(addrs_per_day // 8, 1), dtype=np.uint64)
+    networks = (networks << np.uint64(16)) | np.uint64(0x2000) << np.uint64(48)
+    paths = []
+    for day in range(days):
+        hi = rng.choice(networks, size=addrs_per_day)
+        lo = rng.integers(0, 1 << 62, size=addrs_per_day, dtype=np.uint64)
+        hits = rng.integers(1, 1000, size=addrs_per_day, dtype=np.uint64)
+        path = os.path.join(directory, f"log-{day}.txt")
+        logfile.write_daily_log_arrays(path, day, hi, lo, hits)
+        paths.append(path)
+    return paths
+
+
+def _timed(fn, repeats: int = 1) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def _stores_equal(a: ObservationStore, b: ObservationStore) -> bool:
+    if a.days() != b.days():
+        return False
+    for day in a.days():
+        obs_a, obs_b = a.get(day), b.get(day)
+        if not np.array_equal(obs_a.addresses, np.asarray(obs_b.addresses)):
+            return False
+        if not np.array_equal(
+            np.asarray(obs_a.hits, dtype=np.uint64),
+            np.asarray(obs_b.hits, dtype=np.uint64),
+        ):
+            return False
+    return True
+
+
+def run_benchmark(
+    days: int, addrs_per_day: int, jobs: int, seed: int, skip_seed_baseline: bool
+) -> Dict:
+    results: Dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as directory:
+        log_dir = os.path.join(directory, "logs")
+        cache_dir = os.path.join(directory, "cache")
+        os.makedirs(log_dir)
+        paths = _write_synthetic_logs(log_dir, days, addrs_per_day, seed)
+
+        if not skip_seed_baseline:
+            results["seed_cold"], seed_store = _timed(lambda: _seed_load_store(paths))
+        else:
+            seed_store = None
+
+        results["fast_cold"], fast_store = _timed(lambda: logfile.load_store(paths))
+        results["cache_build"], cold_cache_store = _timed(
+            lambda: logfile.load_store(paths, cache_dir=cache_dir)
+        )
+        results["cache_warm"], warm_store = _timed(
+            lambda: logfile.load_store(paths, cache_dir=cache_dir)
+        )
+        results["parallel_cold"], par_store = _timed(
+            lambda: logfile.load_store(paths, jobs=jobs)
+        )
+        results["parallel_warm"], par_warm_store = _timed(
+            lambda: logfile.load_store(paths, jobs=jobs, cache_dir=cache_dir)
+        )
+
+        for name, other in [
+            ("cache_build", cold_cache_store),
+            ("cache_warm", warm_store),
+            ("parallel_cold", par_store),
+            ("parallel_warm", par_warm_store),
+        ]:
+            if not _stores_equal(fast_store, other):
+                raise AssertionError(f"{name} store differs from fast_cold store")
+        if seed_store is not None and not _stores_equal(fast_store, seed_store):
+            raise AssertionError("fast_cold store differs from seed-path store")
+
+    speedups = {}
+    if "seed_cold" in results:
+        speedups["cold_text_vs_seed"] = results["seed_cold"] / results["fast_cold"]
+        speedups["warm_cache_vs_seed"] = results["seed_cold"] / results["cache_warm"]
+    speedups["warm_cache_vs_fast_cold"] = results["fast_cold"] / results["cache_warm"]
+    speedups["parallel_vs_serial_cold"] = results["fast_cold"] / results["parallel_cold"]
+
+    return {
+        "config": {
+            "days": days,
+            "addrs_per_day": addrs_per_day,
+            "jobs": jobs,
+            "seed": seed,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "seconds": {k: round(v, 4) for k, v in results.items()},
+        "speedups": {k: round(v, 2) for k, v in speedups.items()},
+        "targets": {
+            "warm_cache_vs_seed >= 10x": speedups.get("warm_cache_vs_seed"),
+            "cold_text_vs_seed >= 3x": speedups.get("cold_text_vs_seed"),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=30)
+    parser.add_argument("--addrs", type=int, default=100_000, help="addresses per day")
+    parser.add_argument("--jobs", type=int, default=min(os.cpu_count() or 1, 8))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny run for CI smoke (4 days x 5k)"
+    )
+    parser.add_argument(
+        "--no-seed-baseline",
+        action="store_true",
+        help="skip the slow seed-path measurement",
+    )
+    parser.add_argument("--out", default=None, help="write results JSON here")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.days, args.addrs = 4, 5_000
+
+    report = run_benchmark(
+        args.days, args.addrs, args.jobs, args.seed, args.no_seed_baseline
+    )
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    for label, value in report["speedups"].items():
+        print(f"  {label}: {value:.2f}x", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ inputs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -48,7 +49,11 @@ def _load_store(args: argparse.Namespace) -> obstore.ObservationStore:
         return internet.build_store(days)
     if not args.logs:
         raise SystemExit("no log files given (or use --simulate SCALE)")
-    return logfile.load_store(args.logs)
+    return logfile.load_store(
+        args.logs,
+        jobs=getattr(args, "jobs", None),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
 
 
 def _pipe_safe(tool):
@@ -83,6 +88,22 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
         help="generate simulator data at this scale instead of reading logs",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="load log files with N worker processes (0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        metavar="DIR",
+        help=(
+            "binary columnar day-log cache directory; warm runs skip text "
+            "parsing (default: $REPRO_CACHE_DIR)"
+        ),
+    )
 
 
 @_pipe_safe

@@ -14,6 +14,7 @@ from repro.data.store import (
     day_date,
     day_number,
     from_array,
+    halves_to_array,
     to_array,
     truncate_array,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "day_date",
     "day_number",
     "from_array",
+    "halves_to_array",
     "read_hitlist",
     "sample_hitlist",
     "store_from_snapshots",

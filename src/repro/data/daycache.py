@@ -1,0 +1,189 @@
+"""Binary columnar cache for parsed day logs.
+
+Text parsing — even the vectorized kind — is the dominant cost of
+re-running ``census``/``stability``/``mra`` over the same daily logs.
+This module persists each day's parsed result (sorted, deduplicated
+``(hi, lo)`` address columns plus summed hit counts) as a structured
+``.npy`` file so warm re-runs skip text entirely and load via
+``np.load(..., mmap_mode="r")``.
+
+Layout — one pair of files per distinct source-file *content*::
+
+    <cache_dir>/day-<sha256[:24]>.npy        # columns: hi, lo, hits (uint64)
+    <cache_dir>/day-<sha256[:24]>.meta.json  # {"version", "sha256", "day", "source", "rows"}
+
+Entries are keyed by the SHA-256 of the source file's bytes, so:
+
+* editing a log file changes its digest and the stale entry simply
+  stops matching — stale reuse cannot occur;
+* identical files (however named) share one cache entry;
+* a corrupted or truncated cache entry fails verification and is
+  rebuilt from the text source.
+
+Writes go through a temp file + ``os.replace`` so concurrent loaders
+(e.g. ``load_store(jobs=8, cache_dir=...)``) never observe a partial
+entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data import logfile
+
+#: Bump when the on-disk layout changes; mismatched entries are rebuilt.
+CACHE_VERSION = 1
+
+#: Columnar record stored per address: the two 64-bit halves + hit count.
+CACHE_DTYPE = np.dtype([("hi", "<u8"), ("lo", "<u8"), ("hits", "<u8")])
+
+_DIGEST_CHARS = 24
+
+
+def content_hash(path: str) -> str:
+    """SHA-256 hex digest of a file's bytes (the cache key)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def cache_paths(cache_dir: str, digest: str) -> Tuple[str, str]:
+    """The (.npy, .meta.json) paths for a given content digest."""
+    stem = os.path.join(cache_dir, f"day-{digest[:_DIGEST_CHARS]}")
+    return f"{stem}.npy", f"{stem}.meta.json"
+
+
+def _atomic_write_bytes(path: str, payload: bytes) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _atomic_save_array(path: str, array: np.ndarray) -> None:
+    import io
+
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    _atomic_write_bytes(path, buffer.getvalue())
+
+
+def _try_load(
+    npy_path: str, meta_path: str, digest: str
+) -> Optional[Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]]:
+    """Load a cache entry; None when absent, stale, or unreadable."""
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("version") != CACHE_VERSION or meta.get("sha256") != digest:
+            return None
+        array = np.load(npy_path, mmap_mode="r", allow_pickle=False)
+        if array.dtype != CACHE_DTYPE or array.ndim != 1:
+            return None
+        if int(meta.get("rows", -1)) != array.shape[0]:
+            return None
+        day = meta.get("day")
+        return (
+            None if day is None else int(day),
+            array["hi"],
+            array["lo"],
+            array["hits"],
+        )
+    except (OSError, ValueError, KeyError, json.JSONDecodeError):
+        return None
+
+
+def store_day(
+    cache_dir: str,
+    digest: str,
+    source: str,
+    day: Optional[int],
+    hi: np.ndarray,
+    lo: np.ndarray,
+    hits: np.ndarray,
+) -> str:
+    """Persist one parsed day under its content digest; returns the .npy path."""
+    os.makedirs(cache_dir, exist_ok=True)
+    npy_path, meta_path = cache_paths(cache_dir, digest)
+    record = np.empty(hi.shape[0], dtype=CACHE_DTYPE)
+    record["hi"] = hi
+    record["lo"] = lo
+    record["hits"] = hits
+    _atomic_save_array(npy_path, record)
+    meta = {
+        "version": CACHE_VERSION,
+        "sha256": digest,
+        "day": None if day is None else int(day),
+        "source": os.path.abspath(source),
+        "rows": int(record.shape[0]),
+    }
+    # Meta lands after the array: a reader that sees the meta can trust
+    # the array it points at (both replaced atomically).
+    _atomic_write_bytes(
+        meta_path, json.dumps(meta, sort_keys=True).encode("utf-8")
+    )
+    return npy_path
+
+
+def load_day(
+    path: str, cache_dir: str
+) -> Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]:
+    """Load one day log through the cache.
+
+    On a hit, the columns come straight from the memory-mapped cache
+    entry.  On a miss (or a stale/corrupt entry), the text file is
+    parsed with the columnar fast path and the result is written back.
+    Returns ``(day, hi, lo, hits)`` sorted, deduplicated, and summed —
+    identical to :func:`repro.data.logfile.read_daily_log_arrays`.
+    """
+    digest = content_hash(path)
+    npy_path, meta_path = cache_paths(cache_dir, digest)
+    cached = _try_load(npy_path, meta_path, digest)
+    if cached is not None:
+        return cached
+    day, hi, lo, hits = logfile.read_daily_log_arrays(path)
+    store_day(cache_dir, digest, path, day, hi, lo, hits)
+    return day, hi, lo, hits
+
+
+def prune(cache_dir: str, keep_digests: "set[str]") -> int:
+    """Delete cache entries whose digest is not in ``keep_digests``.
+
+    Returns the number of entries removed.  Useful for housekeeping
+    after source logs are rewritten; never required for correctness
+    (stale entries are unreachable by construction).
+    """
+    removed = 0
+    try:
+        names = os.listdir(cache_dir)
+    except OSError:
+        return 0
+    keep_prefixes = {digest[:_DIGEST_CHARS] for digest in keep_digests}
+    for name in names:
+        if not name.startswith("day-"):
+            continue
+        stem = name[4:].split(".", 1)[0]
+        if stem in keep_prefixes:
+            continue
+        try:
+            os.unlink(os.path.join(cache_dir, name))
+            removed += 1
+        except OSError:
+            pass
+    return removed

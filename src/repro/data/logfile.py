@@ -9,19 +9,54 @@ This mirrors the paper's aggregated logs — hit counts per client address
 per 24-hour period — in a form that sorts and greps well.  The format is
 deliberately plain so external datasets (public hitlists, zmap output)
 can be converted in with a one-line awk script.
+
+Semantics:
+
+* **Duplicate addresses are merged** by summing their hit counts.  The
+  aggregated logs are per-address totals, so two lines for the same
+  address mean the aggregator flushed twice; a reader must never count
+  the address twice.  :func:`read_daily_log` keeps first-seen order for
+  merged entries; :func:`read_daily_log_arrays` returns them sorted.
+* **Hit counts are ASCII digits only** (``0-9``).  Unicode digits such
+  as ``"٣"`` satisfy ``str.isdigit()`` and convert via ``int()``, but
+  are not valid log syntax and raise :class:`LogFormatError`.
+
+Ingestion is columnar: the whole file is tokenized with vectorized
+numpy passes over the raw bytes, address bytes are gathered into a
+matrix and parsed by :func:`repro.net.batchparse.parse_matrix`, and hit
+counts are evaluated with a handful of vectorized digit passes.  Only
+exotic rows (embedded IPv4, >19-digit counts, …) fall back to scalar
+code.  :func:`load_store` can additionally fan days out across worker
+processes (days are independent) and reuse the binary columnar cache in
+:mod:`repro.data.daycache`.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator, List, Optional, TextIO, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.data.store import DailyObservations, ObservationStore
-from repro.net import addr
+from repro.net import addr, batchparse
 
 
 class LogFormatError(ValueError):
     """Raised when a log line cannot be parsed."""
+
+
+_NEWLINE = 0x0A
+_HASH = ord("#")
+_ZERO = ord("0")
+_NINE = ord("9")
+
+#: Hit counts of at most this many digits are parsed vectorized; longer
+#: ones take the scalar path (and must still fit in uint64).
+_MAX_FAST_HIT_DIGITS = 19
+
+_UINT64_MAX = (1 << 64) - 1
 
 
 def write_daily_log(
@@ -30,47 +65,310 @@ def write_daily_log(
     entries: Iterable[Tuple[int, int]],
 ) -> None:
     """Write one day's aggregated log: (address, hits) pairs."""
+    pairs = list(entries)
+    hi, lo = batchparse.ints_to_halves([address for address, _hits in pairs])
+    texts = batchparse.format_batch(hi, lo)
     with open(path, "w", encoding="ascii") as handle:
         handle.write(f"# repro aggregated log day={day}\n")
-        for address, hits in entries:
-            handle.write(f"{addr.format_address(address)} {int(hits)}\n")
+        handle.writelines(
+            f"{text} {int(hits)}\n"
+            for text, (_address, hits) in zip(texts, pairs)
+        )
+
+
+def write_daily_log_arrays(
+    path: str,
+    day: int,
+    hi: np.ndarray,
+    lo: np.ndarray,
+    hits: Optional[np.ndarray] = None,
+) -> None:
+    """Write one day's log directly from columnar (hi, lo, hits) arrays.
+
+    The output is canonical: addresses are sorted, duplicates merged by
+    summing their hit counts.  Readers detect the sorted form and skip
+    their own merge pass.
+    """
+    hi = np.ascontiguousarray(hi, dtype=np.uint64)
+    lo = np.ascontiguousarray(lo, dtype=np.uint64)
+    from repro.data import store as obstore
+
+    entries = np.empty(hi.shape[0], dtype=obstore.ADDRESS_DTYPE)
+    entries["hi"] = hi
+    entries["lo"] = lo
+    unique, inverse = np.unique(entries, return_inverse=True)
+    if hits is None:
+        merged_hits = np.zeros(unique.shape[0], dtype=np.uint64)
+        np.add.at(merged_hits, inverse, np.uint64(1))
+    else:
+        merged_hits = np.zeros(unique.shape[0], dtype=np.uint64)
+        np.add.at(merged_hits, inverse, np.asarray(hits, dtype=np.uint64))
+    texts = batchparse.format_batch(unique["hi"], unique["lo"])
+    lines = [f"{text} {int(h)}\n" for text, h in zip(texts, merged_hits)]
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# repro aggregated log day={day}\n")
+        handle.writelines(lines)
+
+
+def _day_from_comment(line: str) -> Optional[int]:
+    if "day=" not in line:
+        return None
+    try:
+        return int(line.split("day=", 1)[1].split()[0])
+    except (ValueError, IndexError):
+        return None
+
+
+def _error(path: str, line_number: int, message: str) -> LogFormatError:
+    return LogFormatError(f"{path}:{line_number}: {message}")
 
 
 def read_daily_log(path: str) -> Tuple[Optional[int], List[Tuple[int, int]]]:
     """Read one day's aggregated log; returns (day, entries).
 
     The day comes from the header comment when present, else None.
-    Malformed lines raise :class:`LogFormatError` with the line number.
+    Duplicate addresses are merged by summing hit counts (first-seen
+    order is kept).  Malformed lines raise :class:`LogFormatError` with
+    the line number.
     """
     day: Optional[int] = None
-    entries: List[Tuple[int, int]] = []
-    with open(path, "r", encoding="ascii") as handle:
+    address_texts: List[str] = []
+    hit_values: List[int] = []
+    line_numbers: List[int] = []
+    with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             if line.startswith("#"):
-                if "day=" in line and day is None:
-                    try:
-                        day = int(line.split("day=", 1)[1].split()[0])
-                    except (ValueError, IndexError):
-                        pass
+                if day is None:
+                    day = _day_from_comment(line)
                 continue
             parts = line.split()
             if len(parts) != 2:
-                raise LogFormatError(
-                    f"{path}:{line_number}: expected 'address hits', got {line!r}"
+                raise _error(
+                    path, line_number, f"expected 'address hits', got {line!r}"
                 )
+            hits_text = parts[1]
+            if not hits_text or any(
+                not ("0" <= ch <= "9") for ch in hits_text
+            ):
+                raise _error(path, line_number, f"bad hit count {hits_text!r}")
+            address_texts.append(parts[0])
+            hit_values.append(int(hits_text))
+            line_numbers.append(line_number)
+    try:
+        values = batchparse.parse_batch_ints(address_texts)
+    except addr.AddressError:
+        # Re-scan scalar to report the first offending line precisely.
+        for text, line_number in zip(address_texts, line_numbers):
             try:
-                address = addr.parse(parts[0])
+                addr.parse(text)
             except addr.AddressError as exc:
-                raise LogFormatError(f"{path}:{line_number}: {exc}") from exc
-            if not parts[1].isdigit():
-                raise LogFormatError(
-                    f"{path}:{line_number}: bad hit count {parts[1]!r}"
+                raise _error(path, line_number, str(exc)) from exc
+        raise  # pragma: no cover - batch/scalar disagreement
+    merged: dict = {}
+    for value, hits in zip(values, hit_values):
+        merged[value] = merged.get(value, 0) + hits
+    return day, list(merged.items())
+
+
+def _token_spans(data: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized tokenizer: (starts, ends, line_index) of all tokens."""
+    is_nl = data == _NEWLINE
+    is_ws = (data == 0x20) | (data == 0x09) | (data == 0x0D) | is_nl
+    word = ~is_ws
+    starts_mask = word.copy()
+    starts_mask[1:] &= ~word[:-1]
+    ends_mask = word.copy()
+    ends_mask[:-1] &= ~word[1:]
+    starts = np.nonzero(starts_mask)[0]
+    ends = np.nonzero(ends_mask)[0] + 1
+    newlines_before = np.cumsum(is_nl, dtype=np.int64)
+    lines = newlines_before[starts]  # starts are never newlines
+    return starts, ends, lines
+
+
+def _gather_matrix(
+    data: np.ndarray, starts: np.ndarray, lengths: np.ndarray, width: int
+) -> np.ndarray:
+    """Gather variable-length byte tokens into a NUL-padded matrix."""
+    span = np.arange(width)
+    index = starts[:, None] + span
+    valid = span < lengths[:, None]
+    np.clip(index, 0, data.shape[0] - 1, out=index)
+    matrix = data[index]
+    matrix[~valid] = 0
+    return matrix
+
+
+def _parse_log_bytes(
+    data: bytes, path: str
+) -> Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]:
+    """Columnar day-log parse: returns (day, hi, lo, hits) merged+sorted."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    empty = (
+        None,
+        np.empty(0, dtype=np.uint64),
+        np.empty(0, dtype=np.uint64),
+        np.empty(0, dtype=np.uint64),
+    )
+    if raw.shape[0] == 0:
+        return empty
+    starts, ends, lines = _token_spans(raw)
+    if starts.shape[0] == 0:
+        return empty
+
+    # `lines` is nondecreasing, so line groups are contiguous runs — no
+    # need for np.unique's sort.
+    boundary = np.empty(lines.shape[0], dtype=bool)
+    boundary[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=boundary[1:])
+    first_token = np.nonzero(boundary)[0]
+    line_ids = lines[first_token]
+    tokens_per_line = np.diff(np.append(first_token, lines.shape[0]))
+    is_comment_line = raw[starts[first_token]] == _HASH
+
+    # Day header: first comment line mentioning day=.
+    day: Optional[int] = None
+    if is_comment_line.any():
+        newline_positions = np.nonzero(raw == _NEWLINE)[0]
+        for line_id in line_ids[is_comment_line]:
+            start = 0 if line_id == 0 else int(newline_positions[line_id - 1]) + 1
+            end = (
+                int(newline_positions[line_id])
+                if line_id < newline_positions.shape[0]
+                else raw.shape[0]
+            )
+            day = _day_from_comment(
+                bytes(raw[start:end]).decode("utf-8", errors="replace")
+            )
+            if day is not None:
+                break
+
+    bad_counts = ~is_comment_line & (tokens_per_line != 2)
+    if bad_counts.any():
+        bad_line = int(line_ids[bad_counts][0]) + 1
+        raise _error(path, bad_line, "expected 'address hits'")
+
+    keep = np.repeat(~is_comment_line, tokens_per_line)
+    starts, ends, lines = starts[keep], ends[keep], lines[keep]
+    if starts.shape[0] == 0:
+        return (day, *empty[1:])
+
+    address_starts, address_ends = starts[0::2], ends[0::2]
+    hit_starts, hit_ends = starts[1::2], ends[1::2]
+    entry_lines = lines[0::2] + 1  # 1-based line numbers
+
+    # --- address column ---
+    address_lengths = address_ends - address_starts
+    width = int(address_lengths.max())
+    overlong = address_lengths > batchparse._MAX_WIDTH
+    matrix = _gather_matrix(
+        raw,
+        address_starts,
+        np.where(overlong, 0, address_lengths),
+        min(width, batchparse._MAX_WIDTH),
+    )
+    hi, lo, fast = batchparse.parse_matrix(matrix)
+    fast &= ~overlong
+    if not fast.all():
+        for i in np.nonzero(~fast)[0]:
+            token = bytes(raw[address_starts[i] : address_ends[i]])
+            try:
+                value = addr.parse(token.decode("utf-8", errors="replace"))
+            except addr.AddressError as exc:
+                raise _error(path, int(entry_lines[i]), str(exc)) from exc
+            hi[i] = value >> 64
+            lo[i] = value & addr.IID_MASK
+
+    # --- hit-count column ---
+    hit_lengths = hit_ends - hit_starts
+    slow_hits = hit_lengths > _MAX_FAST_HIT_DIGITS
+    hit_matrix = _gather_matrix(
+        raw,
+        hit_starts,
+        np.where(slow_hits, 0, hit_lengths),
+        min(int(hit_lengths.max()), _MAX_FAST_HIT_DIGITS),
+    )
+    in_token = np.arange(hit_matrix.shape[1]) < hit_lengths[:, None]
+    digit_ok = (hit_matrix >= _ZERO) & (hit_matrix <= _NINE)
+    bad_digit = (in_token & ~digit_ok).any(axis=1)
+    if bad_digit.any():
+        i = int(np.nonzero(bad_digit)[0][0])
+        token = bytes(raw[hit_starts[i] : hit_ends[i]])
+        raise _error(
+            path,
+            int(entry_lines[i]),
+            f"bad hit count {token.decode('utf-8', errors='replace')!r}",
+        )
+    digits = (hit_matrix - _ZERO).astype(np.uint64)
+    hits = np.zeros(hit_lengths.shape[0], dtype=np.uint64)
+    for column in range(hit_matrix.shape[1]):
+        active = column < hit_lengths
+        hits = np.where(active, hits * np.uint64(10) + digits[:, column], hits)
+    if slow_hits.any():
+        for i in np.nonzero(slow_hits)[0]:
+            token = bytes(raw[hit_starts[i] : hit_ends[i]]).decode(
+                "utf-8", errors="replace"
+            )
+            if any(not ("0" <= ch <= "9") for ch in token):
+                raise _error(path, int(entry_lines[i]), f"bad hit count {token!r}")
+            value = int(token)
+            if value > _UINT64_MAX:
+                raise _error(
+                    path,
+                    int(entry_lines[i]),
+                    f"hit count exceeds 64 bits: {token!r}",
                 )
-            entries.append((address, int(parts[1])))
-    return day, entries
+            hits[i] = value
+
+    # --- merge duplicates, sort ---
+    # Logs written by save_store are already sorted and unique; detect
+    # that with a few vectorized passes and skip the O(n log n) sort.
+    if hi.shape[0] > 1:
+        increasing = (hi[1:] > hi[:-1]) | ((hi[1:] == hi[:-1]) & (lo[1:] > lo[:-1]))
+        already_sorted = bool(increasing.all())
+    else:
+        already_sorted = True
+    if already_sorted:
+        return day, hi, lo, hits
+
+    from repro.data import store as obstore
+
+    entries = np.empty(hi.shape[0], dtype=obstore.ADDRESS_DTYPE)
+    entries["hi"] = hi
+    entries["lo"] = lo
+    unique, inverse = np.unique(entries, return_inverse=True)
+    summed = np.zeros(unique.shape[0], dtype=np.uint64)
+    np.add.at(summed, inverse, hits)
+    return day, unique["hi"].copy(), unique["lo"].copy(), summed
+
+
+def read_daily_log_arrays(
+    path: str,
+) -> Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]:
+    """Columnar fast path: read a day log straight into uint64 arrays.
+
+    Returns ``(day, hi, lo, hits)`` with addresses sorted, deduplicated,
+    and duplicate hit counts summed — exactly the layout
+    :class:`repro.data.store.DailyObservations` holds, so no per-element
+    Python work happens anywhere on this path.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return _parse_log_bytes(data, path)
+
+
+def _load_day_payload(
+    path: str, cache_dir: Optional[str]
+) -> Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]:
+    """Load one day as arrays, through the binary cache when enabled."""
+    if cache_dir is not None:
+        from repro.data import daycache
+
+        return daycache.load_day(path, cache_dir)
+    return read_daily_log_arrays(path)
 
 
 def save_store(store: ObservationStore, directory: str, prefix: str = "log") -> List[str]:
@@ -79,29 +377,54 @@ def save_store(store: ObservationStore, directory: str, prefix: str = "log") -> 
     paths: List[str] = []
     for observations in store.iter_days():
         path = os.path.join(directory, f"{prefix}-{observations.day}.txt")
-        if observations.hits is not None:
-            entries = zip(observations.as_ints(), (int(h) for h in observations.hits))
-        else:
-            entries = ((address, 1) for address in observations.as_ints())
-        write_daily_log(path, observations.day, entries)
+        write_daily_log_arrays(
+            path,
+            observations.day,
+            observations.addresses["hi"],
+            observations.addresses["lo"],
+            observations.hits,
+        )
         paths.append(path)
     return paths
 
 
-def load_store(paths: Iterable[str]) -> ObservationStore:
+def load_store(
+    paths: Iterable[str],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> ObservationStore:
     """Load daily log files into an observation store.
 
     Files without a day header take the next integer after the current
     maximum (so ordering of pathnames defines their sequence).
+
+    Args:
+        paths: the daily log files, in day order.
+        jobs: number of worker processes.  ``None`` or 1 loads serially;
+            0 (or negative) uses all CPUs.  Days are independent, so the
+            parse work fans out cleanly.
+        cache_dir: when given, each file's parsed columns are persisted
+            in (and reused from) a binary columnar cache keyed by the
+            file's content hash — see :mod:`repro.data.daycache`.
     """
+    path_list = [os.fspath(p) for p in paths]
+    if jobs is not None and jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if jobs is None or jobs <= 1 or len(path_list) <= 1:
+        payloads = [_load_day_payload(p, cache_dir) for p in path_list]
+    else:
+        workers = min(jobs, len(path_list))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = list(
+                pool.map(_load_day_payload, path_list, [cache_dir] * len(path_list))
+            )
     store = ObservationStore()
     next_day = 0
-    for path in paths:
-        day, entries = read_daily_log(path)
+    for day, hi, lo, hits in payloads:
         if day is None:
             day = next_day
-        addresses = [address for address, _hits in entries]
-        hits = [hits for _address, hits in entries]
-        store.add_day(day, addresses, hits)
+        store.add_observations(
+            DailyObservations.from_halves(day, hi, lo, hits, merged=True)
+        )
         next_day = day + 1
     return store

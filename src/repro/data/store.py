@@ -23,7 +23,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.net import addr
+from repro.net import batchparse
 
 #: Structured dtype for address columns: high then low 64 bits, so that the
 #: lexicographic order numpy uses for structured comparison equals numeric
@@ -49,21 +49,31 @@ def day_date(day: int) -> datetime.date:
     return _EPOCH + datetime.timedelta(days=int(day))
 
 
+def _raw_from_ints(addresses: Iterable[int]) -> np.ndarray:
+    """Bulk-convert integer addresses to an (unsorted) structured array."""
+    hi, lo = batchparse.ints_to_halves(addresses)
+    raw = np.empty(hi.shape[0], dtype=ADDRESS_DTYPE)
+    raw["hi"] = hi
+    raw["lo"] = lo
+    return raw
+
+
 def to_array(addresses: Iterable[int]) -> np.ndarray:
     """Build a sorted, deduplicated address array from integer addresses."""
-    values = list(addresses)
-    array = np.empty(len(values), dtype=ADDRESS_DTYPE)
-    for index, value in enumerate(values):
-        addr.check_address(value)
-        array[index] = (value >> 64, value & addr.IID_MASK)
-    return np.unique(array)
+    return np.unique(_raw_from_ints(addresses))
+
+
+def halves_to_array(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Build a sorted, deduplicated address array from uint64 halves."""
+    raw = np.empty(np.shape(hi)[0], dtype=ADDRESS_DTYPE)
+    raw["hi"] = hi
+    raw["lo"] = lo
+    return np.unique(raw)
 
 
 def from_array(array: np.ndarray) -> List[int]:
     """Convert an address array back to a list of 128-bit integers."""
-    return [
-        (int(hi) << 64) | int(lo) for hi, lo in zip(array["hi"], array["lo"])
-    ]
+    return batchparse.halves_to_ints(array["hi"], array["lo"])
 
 
 def array_size(array: np.ndarray) -> int:
@@ -147,11 +157,7 @@ class DailyObservations:
         hits: Optional[Iterable[int]] = None,
     ) -> None:
         self.day = int(day)
-        values = list(addresses)
-        raw = np.empty(len(values), dtype=ADDRESS_DTYPE)
-        for index, value in enumerate(values):
-            addr.check_address(value)
-            raw[index] = (value >> 64, value & addr.IID_MASK)
+        raw = _raw_from_ints(addresses)
         if hits is None:
             self.addresses = np.unique(raw)
             self.hits = None
@@ -172,6 +178,51 @@ class DailyObservations:
         instance.day = int(day)
         instance.addresses = array
         instance.hits = None
+        return instance
+
+    @classmethod
+    def from_halves(
+        cls,
+        day: int,
+        hi: np.ndarray,
+        lo: np.ndarray,
+        hits: "Optional[np.ndarray]" = None,
+        merged: bool = False,
+    ) -> "DailyObservations":
+        """Build a day directly from columnar uint64 halves.
+
+        This is the zero-copy-ish entry point of the fast ingestion
+        pipeline: the batch parser and the day-log cache both produce
+        ``(hi, lo[, hits])`` columns.  With ``merged=True`` the columns
+        are trusted to be sorted and duplicate-free already (the cache
+        stores them that way) and are wrapped without re-deduplication.
+        """
+        instance = cls.__new__(cls)
+        instance.day = int(day)
+        if merged:
+            array = np.empty(np.shape(hi)[0], dtype=ADDRESS_DTYPE)
+            array["hi"] = hi
+            array["lo"] = lo
+            instance.addresses = array
+            instance.hits = (
+                None if hits is None else np.asarray(hits, dtype=np.uint64)
+            )
+            return instance
+        raw = np.empty(np.shape(hi)[0], dtype=ADDRESS_DTYPE)
+        raw["hi"] = hi
+        raw["lo"] = lo
+        if hits is None:
+            instance.addresses = np.unique(raw)
+            instance.hits = None
+            return instance
+        hit_array = np.asarray(hits, dtype=np.uint64)
+        if hit_array.shape[0] != raw.shape[0]:
+            raise ValueError("hits must parallel addresses")
+        unique, inverse = np.unique(raw, return_inverse=True)
+        summed = np.zeros(unique.shape[0], dtype=np.uint64)
+        np.add.at(summed, inverse, hit_array)
+        instance.addresses = unique
+        instance.hits = summed
         return instance
 
     def __len__(self) -> int:

@@ -1,0 +1,437 @@
+"""Vectorized batch parsing and formatting of IPv6 addresses.
+
+:mod:`repro.net.addr` parses one presentation string at a time in pure
+Python, which is exact but interpreter-bound: ingesting a day of a few
+hundred thousand logged client addresses spends nearly all of its time
+inside ``addr.parse``.  This module provides the columnar counterpart:
+whole columns of strings are converted to ``(hi, lo)`` uint64 numpy
+arrays at once, and back.
+
+The fast path handles every colon-separated hexadecimal form — canonical
+RFC 5952 output, fixed-width ``format_full`` output, and any mix of
+upper/lower case, leading zeros and a single ``::`` compression — with a
+handful of vectorized passes over an ``(n, width)`` byte matrix:
+
+1. encode the column into a fixed-width byte matrix (one C-level copy);
+2. classify every byte (hex digit value / colon / padding) with a LUT;
+3. validate structure per row (colon counts, run lengths, ``::`` rules)
+   into a *fast-path eligibility mask*;
+4. for eligible rows, compute each hex digit's group index (accounting
+   for the groups elided by ``::``) and its significance within the
+   group, scatter digits into an ``(n, 32)`` nibble matrix, and combine
+   nibbles into the two 64-bit halves.
+
+Rows that are not eligible — embedded dotted-quad IPv4, surrounding
+whitespace, zone identifiers, non-ASCII text, or anything malformed —
+fall back to the scalar :func:`repro.net.addr.parse`, which either
+handles the exotic notation or raises the same :class:`AddressError` a
+scalar caller would see.  The batch functions are therefore bit-for-bit
+consistent with their scalar counterparts on both accepted and rejected
+inputs.
+
+:func:`format_batch` is the vectorized inverse: it emits canonical
+RFC 5952 strings (longest zero run compressed, leftmost on ties,
+lower-case, no leading zeros) by computing per-row character offsets for
+each group and scattering hex digits and colons into an output byte
+matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.net import addr
+from repro.net.addr import AddressError
+
+#: Hex-digit value per byte; 0xFF marks "not a hex digit".
+_HEXVAL = np.full(256, 0xFF, dtype=np.uint8)
+for _ch in "0123456789":
+    _HEXVAL[ord(_ch)] = int(_ch)
+for _i, _ch in enumerate("abcdef"):
+    _HEXVAL[ord(_ch)] = 10 + _i
+    _HEXVAL[ord(_ch.upper())] = 10 + _i
+
+_COLON = ord(":")
+_HEXCHARS = np.frombuffer(b"0123456789abcdef", dtype=np.uint8)
+
+#: Longest string the matrix fast path will consider.  Valid presentation
+#: forms are at most 45 characters; anything longer is exotic by
+#: definition and goes through the scalar parser.
+_MAX_WIDTH = 48
+
+_LOW64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _as_text_list(strings: "Iterable[str]") -> List[str]:
+    if isinstance(strings, list):
+        return strings
+    if isinstance(strings, np.ndarray):
+        return [str(s) for s in strings.tolist()]
+    return list(strings)
+
+
+def _scalar_fill(
+    texts: Sequence[str], indices: np.ndarray, hi: np.ndarray, lo: np.ndarray
+) -> None:
+    """Parse the rows in ``indices`` with the scalar parser."""
+    parse = addr.parse
+    for i in indices:
+        value = parse(texts[i])
+        hi[i] = value >> 64
+        lo[i] = value & addr.IID_MASK
+
+
+def _byte_matrix(texts: Sequence[str]) -> "np.ndarray | None":
+    """Encode a list of ASCII strings into an (n, width) uint8 matrix.
+
+    Returns None when the column cannot be represented (non-str entries,
+    non-ASCII characters, or absurdly long strings), in which case every
+    row takes the scalar path.
+    """
+    if not all(type(t) is str for t in texts):
+        return None
+    try:
+        raw = np.array(texts, dtype=np.bytes_)
+    except (UnicodeEncodeError, ValueError):
+        return None
+    width = raw.dtype.itemsize
+    if width == 0 or width > _MAX_WIDTH:
+        return None
+    return raw.view(np.uint8).reshape(len(texts), width)
+
+
+def _analyze(texts: Sequence[str]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized core over a list of strings: returns (hi, lo, fast_mask).
+
+    Rows where ``fast_mask`` is False are untouched (left zero) and must
+    be handled by the scalar parser.
+    """
+    n = len(texts)
+    if n == 0:
+        empty = np.zeros(0, dtype=np.uint64)
+        return empty, empty.copy(), np.zeros(0, dtype=bool)
+    matrix = _byte_matrix(texts)
+    if matrix is None:
+        zeros = np.zeros(n, dtype=np.uint64)
+        return zeros, zeros.copy(), np.zeros(n, dtype=bool)
+    return parse_matrix(matrix)
+
+
+def parse_matrix(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized parse of an ``(n, width)`` uint8 matrix of address bytes.
+
+    Each row holds one NUL-padded ASCII presentation string.  Returns
+    ``(hi, lo, fast_mask)``; rows where ``fast_mask`` is False were not
+    parsed (left zero) and must be handled by the scalar parser — this
+    is the building block :func:`parse_batch` and the day-log reader
+    share, letting file ingestion feed raw bytes straight in.
+    """
+    n, width = matrix.shape
+    hi = np.zeros(n, dtype=np.uint64)
+    lo = np.zeros(n, dtype=np.uint64)
+    if n == 0 or width == 0 or width > _MAX_WIDTH:
+        return hi, lo, np.zeros(n, dtype=bool)
+
+    hexval = _HEXVAL[matrix]
+    is_colon = matrix == _COLON
+    is_hex = hexval != 0xFF
+    is_pad = matrix == 0
+
+    # Padding (NUL bytes) must form a contiguous suffix; an embedded NUL
+    # means the Python string itself contained one.
+    if width > 1:
+        pad_suffix = np.all(is_pad[:, :-1] <= is_pad[:, 1:], axis=1)
+    else:
+        pad_suffix = np.ones(n, dtype=bool)
+    strlen = width - is_pad.sum(axis=1)
+    chars_ok = np.all(is_hex | is_colon | is_pad, axis=1)
+
+    k = is_colon.sum(axis=1)
+    if width > 1:
+        adjacent = is_colon[:, :-1] & is_colon[:, 1:]
+        n_adjacent = adjacent.sum(axis=1)
+    else:
+        adjacent = np.zeros((n, 0), dtype=bool)
+        n_adjacent = np.zeros(n, dtype=np.intp)
+
+    # A hex run of five or more digits can never be a 16-bit group.
+    if width >= 5:
+        run5 = is_hex[:, : width - 4].copy()
+        for offset in range(1, 5):
+            run5 &= is_hex[:, offset : width - 4 + offset]
+        too_long = run5.any(axis=1)
+    else:
+        too_long = np.zeros(n, dtype=bool)
+
+    rows = np.arange(n)
+    nonempty = strlen > 0
+    safe_len = np.maximum(strlen, 1)
+    last_colon = matrix[rows, safe_len - 1] == _COLON
+    prev_colon = matrix[rows, np.maximum(safe_len - 2, 0)] == _COLON
+    trail_ok = ~last_colon | ((strlen >= 2) & prev_colon)
+    if width > 1:
+        lead_ok = ~is_colon[:, 0] | is_colon[:, 1]
+    else:
+        lead_ok = ~is_colon[:, 0]
+
+    # Number of hex runs = number of groups actually present.
+    run_start = is_hex.copy()
+    if width > 1:
+        run_start[:, 1:] &= ~is_hex[:, :-1]
+    runs = run_start.sum(axis=1)
+
+    compressed = n_adjacent == 1
+    uncompressed = n_adjacent == 0
+    fast = (
+        chars_ok
+        & pad_suffix
+        & ~too_long
+        & lead_ok
+        & trail_ok
+        & nonempty
+        & (
+            (uncompressed & (k == 7) & (runs == 8))
+            | (compressed & (runs <= 7))
+        )
+    )
+    if not fast.any():
+        return hi, lo, fast
+
+    # Exclusive running colon count: for each character, how many colons
+    # lie strictly before it.  This is the "naive" group index.
+    colon_before = np.cumsum(is_colon, axis=1, dtype=np.int16)
+    colon_before -= is_colon
+
+    # Characters after the '::' belong to right-aligned groups: shift
+    # their group index up by the number of elided groups.  For a row
+    # with k colons in total, that shift is 7 - k.  (Values on rows that
+    # fail the fast mask may be nonsense; they are never scattered.)
+    gidx = colon_before
+    if width > 1:
+        pair_pos = np.argmax(adjacent, axis=1)
+        colons_before_pair = colon_before[rows, pair_pos]
+        after_pair = colon_before >= (colons_before_pair + 2)[:, None]
+        after_pair &= compressed[:, None]
+        shift = (7 - k).astype(np.int16)
+        gidx = gidx + np.where(after_pair, shift[:, None], np.int16(0))
+
+    # Distance from each hex digit to the end of its run gives its
+    # significance: the last digit of a group has distance 1.  Computed
+    # with the cumsum-minus-running-max trick on the reversed matrix so
+    # every pass is along the contiguous axis.
+    rev = is_hex[:, ::-1]
+    csum = np.cumsum(rev, axis=1, dtype=np.int16)
+    resets = np.where(rev, np.int16(0), csum)
+    np.maximum.accumulate(resets, axis=1, out=resets)
+    dist = (csum - resets)[:, ::-1]
+
+    nib = gidx * np.int16(4) + np.int16(4) - dist
+    select = is_hex & fast[:, None]
+    out_of_range = select & ((nib < 0) | (nib > 31))
+    if out_of_range.any():  # defensive: demote any surprises to scalar
+        fast = fast & ~out_of_range.any(axis=1)
+        select = is_hex & fast[:, None]
+
+    nibbles = np.zeros((n, 32), dtype=np.uint8)
+    row_of = np.broadcast_to(rows[:, None], select.shape)
+    nibbles[row_of[select], nib[select]] = hexval[select]
+
+    # Pack nibble pairs into bytes, then reinterpret each row's 16 bytes
+    # as two big-endian uint64 halves.
+    packed = (nibbles[:, 0::2] << 4) | nibbles[:, 1::2]
+    halves = np.ascontiguousarray(packed).view(">u8")
+    hi = halves[:, 0].astype(np.uint64)
+    lo = halves[:, 1].astype(np.uint64)
+    hi[~fast] = 0
+    lo[~fast] = 0
+    return hi, lo, fast
+
+
+def fastpath_mask(strings: "Iterable[str]") -> np.ndarray:
+    """Which rows of a column the vectorized fast path would handle.
+
+    Exposed for tests and benchmarks: a canonical-form corpus should be
+    (nearly) all-True here, otherwise parsing silently degrades to the
+    scalar fallback.
+    """
+    _hi, _lo, fast = _analyze(_as_text_list(strings))
+    return fast
+
+
+def parse_batch(strings: "Iterable[str]") -> Tuple[np.ndarray, np.ndarray]:
+    """Parse a column of IPv6 presentation strings into uint64 halves.
+
+    Returns ``(hi, lo)`` arrays of dtype uint64, bit-for-bit consistent
+    with calling :func:`repro.net.addr.parse` per element.
+
+    Raises:
+        AddressError: if any element is invalid (same errors as the
+            scalar parser; the first offending element wins).
+    """
+    texts = _as_text_list(strings)
+    hi, lo, fast = _analyze(texts)
+    if not fast.all():
+        _scalar_fill(texts, np.nonzero(~fast)[0], hi, lo)
+    return hi, lo
+
+
+def parse_batch_ints(strings: "Iterable[str]") -> List[int]:
+    """Parse a column of presentation strings into 128-bit Python ints."""
+    hi, lo = parse_batch(strings)
+    if hi.shape[0] == 0:
+        return []
+    return (hi.astype(object) * (1 << 64) + lo.astype(object)).tolist()
+
+
+def _halves(
+    hi: "np.ndarray | Sequence[int]", lo: "np.ndarray | Sequence[int]"
+) -> Tuple[np.ndarray, np.ndarray]:
+    hi = np.ascontiguousarray(hi, dtype=np.uint64)
+    lo = np.ascontiguousarray(lo, dtype=np.uint64)
+    if hi.shape != lo.shape or hi.ndim != 1:
+        raise AddressError("hi and lo must be parallel 1-d arrays")
+    return hi, lo
+
+
+def format_batch(
+    hi: "np.ndarray | Sequence[int]", lo: "np.ndarray | Sequence[int]"
+) -> np.ndarray:
+    """Format uint64 halves as canonical RFC 5952 strings, vectorized.
+
+    The output is a numpy unicode array whose elements equal
+    ``addr.format_address((hi << 64) | lo)`` exactly: longest zero run
+    (length >= 2) compressed with ``::``, leftmost on ties, lower-case,
+    no leading zeros.
+    """
+    hi, lo = _halves(hi, lo)
+    n = hi.shape[0]
+    if n == 0:
+        return np.empty(0, dtype="U39")
+
+    groups = np.empty((n, 8), dtype=np.uint16)
+    for i in range(4):
+        groups[:, i] = (hi >> np.uint64(48 - 16 * i)) & np.uint64(0xFFFF)
+        groups[:, 4 + i] = (lo >> np.uint64(48 - 16 * i)) & np.uint64(0xFFFF)
+
+    zero = groups == 0
+    # Zero-run length starting at each position, computed right-to-left.
+    runlen = np.zeros((n, 9), dtype=np.int64)
+    for j in range(7, -1, -1):
+        runlen[:, j] = np.where(zero[:, j], runlen[:, j + 1] + 1, 0)
+    runlen = runlen[:, :8]
+    best_len = runlen.max(axis=1)
+    best_start = runlen.argmax(axis=1)  # argmax returns the leftmost max
+    compress = best_len >= 2
+    best_len = np.where(compress, best_len, 0)
+
+    digits = (
+        1
+        + (groups >= 0x10).astype(np.int64)
+        + (groups >= 0x100)
+        + (groups >= 0x1000)
+    )
+    position = np.arange(8)
+    in_run = (
+        compress[:, None]
+        & (position >= best_start[:, None])
+        & (position < (best_start + best_len)[:, None])
+    )
+    printed = ~in_run
+    widths = np.where(printed, digits, 0)
+
+    width_before = np.cumsum(widths, axis=1) - widths
+    printed_before = np.cumsum(printed, axis=1) - printed
+    # Colons preceding each group's digits: one per earlier printed
+    # group, plus (for groups right of the '::') the pair itself minus
+    # the separator a left block would have contributed.
+    right_of_run = compress[:, None] & (
+        position >= (best_start + best_len)[:, None]
+    )
+    extra = np.where(right_of_run, np.where(best_start[:, None] > 0, 1, 2), 0)
+    offsets = width_before + printed_before + extra
+
+    out = np.zeros((n, 39), dtype=np.uint8)
+    rows = np.arange(n)
+
+    # The '::' of compressed rows sits immediately after the left block.
+    left_len = width_before[rows, best_start] + np.maximum(best_start - 1, 0)
+    c_rows = np.nonzero(compress)[0]
+    out[c_rows, left_len[c_rows]] = _COLON
+    out[c_rows, left_len[c_rows] + 1] = _COLON
+
+    # One separator colon immediately before every printed group except
+    # the row's first (re-writing the second ':' of '::' is harmless).
+    sep = printed & (printed_before > 0)
+    sep_rows, sep_cols = np.nonzero(sep)
+    out[sep_rows, offsets[sep_rows, sep_cols] - 1] = _COLON
+
+    # Scatter hex digits: nibble k4 of a group is printed when it falls
+    # within the group's significant digits.
+    for k4 in range(4):
+        value = (groups >> (4 * (3 - k4))).astype(np.int64) & 0xF
+        digit_pos = k4 - (4 - digits)
+        write = printed & (digit_pos >= 0)
+        w_rows, w_cols = np.nonzero(write)
+        out[w_rows, offsets[w_rows, w_cols] + digit_pos[w_rows, w_cols]] = (
+            _HEXCHARS[value[w_rows, w_cols]]
+        )
+
+    return out.view("S39").ravel().astype("U39")
+
+
+def format_batch_list(
+    hi: "np.ndarray | Sequence[int]", lo: "np.ndarray | Sequence[int]"
+) -> List[str]:
+    """Like :func:`format_batch` but returning a plain list of str."""
+    return format_batch(hi, lo).tolist()
+
+
+def format_full_batch(
+    hi: "np.ndarray | Sequence[int]", lo: "np.ndarray | Sequence[int]"
+) -> np.ndarray:
+    """Vectorized :func:`repro.net.addr.format_full` (fixed-width form)."""
+    hi, lo = _halves(hi, lo)
+    n = hi.shape[0]
+    out = np.full((n, 39), _COLON, dtype=np.uint8)
+    for group in range(8):
+        half, shift = (hi, 48 - 16 * group) if group < 4 else (lo, 112 - 16 * group)
+        value = (half >> np.uint64(shift)).astype(np.int64) & 0xFFFF
+        base = 5 * group
+        for k4 in range(4):
+            out[:, base + k4] = _HEXCHARS[(value >> (4 * (3 - k4))) & 0xF]
+    return out.view("S39").ravel().astype("U39")
+
+
+def ints_to_halves(values: "Iterable[int]") -> Tuple[np.ndarray, np.ndarray]:
+    """Convert 128-bit Python ints to (hi, lo) uint64 arrays in bulk.
+
+    The per-element work is a single C-level ``int.to_bytes`` call; the
+    split into halves is one vectorized reinterpretation of the joined
+    buffer.  Raises :class:`AddressError` on out-of-range or non-int
+    elements, like :func:`repro.net.addr.check_address`.
+    """
+    values = values if isinstance(values, list) else list(values)
+    n = len(values)
+    if n == 0:
+        empty = np.empty(0, dtype=np.uint64)
+        return empty, empty.copy()
+    try:
+        packed = b"".join(v.to_bytes(16, "big") for v in values)
+    except (AttributeError, TypeError, OverflowError):
+        for v in values:  # re-run scalar checks for a precise error
+            addr.check_address(v)
+        raise AddressError("unrepresentable address values")
+    flat = np.frombuffer(packed, dtype=">u8").reshape(n, 2)
+    return flat[:, 0].astype(np.uint64), flat[:, 1].astype(np.uint64)
+
+
+def halves_to_ints(
+    hi: "np.ndarray | Sequence[int]", lo: "np.ndarray | Sequence[int]"
+) -> List[int]:
+    """Combine (hi, lo) uint64 arrays into 128-bit Python ints in bulk."""
+    hi, lo = _halves(hi, lo)
+    if hi.shape[0] == 0:
+        return []
+    return (hi.astype(object) * (1 << 64) + lo.astype(object)).tolist()

@@ -1,0 +1,181 @@
+"""Tests for the vectorized batch address parser/formatter.
+
+The contract under test: :mod:`repro.net.batchparse` must be bit-for-bit
+consistent with the scalar :mod:`repro.net.addr` reference — same values
+on every accepted input, an :class:`~repro.net.addr.AddressError` on
+every rejected one — regardless of whether a given string takes the
+vectorized fast path or the scalar fallback.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.net import addr, batchparse
+from repro.net.addr import AddressError
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+
+# The full scalar-parser corpus: every presentation form the scalar
+# parser accepts, including ones the fast path must hand back to it.
+VALID_CASES = [
+    "2001:0db8:0000:0000:0000:0000:0000:0001",
+    "2001:db8::1",
+    "::1",
+    "::",
+    "1::",
+    "2001:db8::",
+    "fe80::1:2:3:4",
+    "1:2:3:4:5:6:7:8",
+    "0:0:0:0:0:0:0:0",
+    "2001:DB8::A",          # mixed case
+    "2001:Db8:A0b::C",
+    "::ffff:192.0.2.1",     # embedded IPv4
+    "64:ff9b::192.0.2.33",
+    "1:2:3:4:5:6:7.8.9.10",
+    "::13.1.68.3",
+    "2001:db8:0:0:1::1",
+    "ff02::2",
+    "a:b:c:d:e:f:1:2",
+]
+
+MALFORMED_CASES = [
+    "",
+    ":::",
+    "2001:db8",
+    "2001:db8::1::2",
+    "2001:db8:0:0:0:0:0:0:1",
+    "g001:db8::1",
+    "2001:db8::12345",
+    "2001:db8::1%eth0",
+    "1.2.3.4",
+    "::192.0.2.256",
+    "::192.0.2",
+    "2001:db8:::1",
+    "1:2:3:4::5:6:7:8",
+    "2001 db8::1",
+    ":",
+    ":1:2:3:4:5:6:7",
+    "1:2:3:4:5:6:7:",
+    "٣::1",            # non-ASCII digit
+]
+
+EDGE_VALUES = [
+    0,
+    1,
+    2**64 - 1,
+    2**64,
+    2**128 - 1,
+    0x20010DB8 << 96,
+    0xFE80 << 112,
+    (2**128 - 1) ^ (0xFFFF << 64),
+    0x0000_0000_0000_0001_0000_0000_0000_0000,
+]
+
+
+def _rand_values(count, seed=1234):
+    rng = random.Random(seed)
+    return [rng.getrandbits(128) for _ in range(count)]
+
+
+class TestAgainstScalarReference:
+    def test_valid_corpus_matches_scalar(self):
+        expected = [addr.parse(text) for text in VALID_CASES]
+        assert batchparse.parse_batch_ints(VALID_CASES) == expected
+
+    @pytest.mark.parametrize("bad", MALFORMED_CASES)
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            batchparse.parse_batch([bad])
+
+    def test_malformed_rejected_inside_batch(self):
+        # A bad row must fail even when surrounded by good rows.
+        for bad in MALFORMED_CASES:
+            with pytest.raises(AddressError):
+                batchparse.parse_batch(["2001:db8::1", bad, "::2"])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AddressError):
+            batchparse.parse_batch(["::1", 12345])
+        with pytest.raises(AddressError):
+            batchparse.parse_batch([b"2001:db8::1"])
+
+    def test_whitespace_stripped_like_scalar(self):
+        # The scalar parser strips surrounding whitespace; batch agrees.
+        texts = [" 2001:db8::1", "2001:db8::1 ", "\t::1\n"]
+        assert batchparse.parse_batch_ints(texts) == [addr.parse(t) for t in texts]
+
+    def test_fast_and_scalar_agree_on_edge_cases(self):
+        texts = [addr.format_address(v) for v in EDGE_VALUES]
+        texts += [addr.format_full(v) for v in EDGE_VALUES]
+        texts += [t.upper() for t in texts]
+        expected = [addr.parse(t) for t in texts]
+        assert batchparse.parse_batch_ints(texts) == expected
+
+    def test_scalar_fallback_rows_match(self):
+        # Embedded-IPv4 rows are not fast-path eligible; their results
+        # must still match the scalar parser exactly.
+        texts = ["::ffff:192.0.2.1", "2001:db8::1", "64:ff9b::0.0.0.1"]
+        mask = batchparse.fastpath_mask(texts)
+        assert not mask[0] and not mask[2]
+        assert batchparse.parse_batch_ints(texts) == [addr.parse(t) for t in texts]
+
+    def test_fastpath_covers_canonical_and_full_forms(self):
+        values = _rand_values(256)
+        canonical = [addr.format_address(v) for v in values]
+        full = [addr.format_full(v) for v in values]
+        assert batchparse.fastpath_mask(canonical).all()
+        assert batchparse.fastpath_mask(full).all()
+
+
+class TestRoundTrip:
+    def test_random_round_trip(self):
+        values = _rand_values(2048)
+        hi, lo = batchparse.ints_to_halves(values)
+        texts = batchparse.format_batch_list(hi, lo)
+        assert texts == [addr.format_address(v) for v in values]
+        assert batchparse.parse_batch_ints(texts) == values
+
+    def test_full_form_round_trip(self):
+        values = _rand_values(512, seed=99) + EDGE_VALUES
+        hi, lo = batchparse.ints_to_halves(values)
+        texts = [str(t) for t in batchparse.format_full_batch(hi, lo)]
+        assert texts == [addr.format_full(v) for v in values]
+        assert batchparse.parse_batch_ints(texts) == values
+
+    def test_halves_conversion_round_trip(self):
+        values = EDGE_VALUES + _rand_values(64)
+        hi, lo = batchparse.ints_to_halves(values)
+        assert hi.dtype == np.uint64 and lo.dtype == np.uint64
+        assert batchparse.halves_to_ints(hi, lo) == values
+
+    def test_empty_batch(self):
+        hi, lo = batchparse.parse_batch([])
+        assert hi.shape == (0,) and lo.shape == (0,)
+        assert batchparse.format_batch_list(hi, lo) == []
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestPropertyBased:
+        @settings(max_examples=300, deadline=None)
+        @given(st.lists(st.integers(min_value=0, max_value=2**128 - 1), max_size=64))
+        def test_format_parse_identity(self, values):
+            hi, lo = batchparse.ints_to_halves(values)
+            texts = batchparse.format_batch_list(hi, lo)
+            assert batchparse.parse_batch_ints(texts) == values
+            assert texts == [addr.format_address(v) for v in values]
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.integers(min_value=0, max_value=2**128 - 1))
+        def test_single_value_matches_scalar_everywhere(self, value):
+            for text in (addr.format_address(value), addr.format_full(value)):
+                assert batchparse.parse_batch_ints([text]) == [addr.parse(text)]

@@ -1,0 +1,138 @@
+"""Regression tests for the fast ingestion pipeline.
+
+Covers the two bug fixes that rode along with the pipeline rewrite —
+duplicate addresses must merge by summing hit counts, and hit-count
+validation must accept ASCII digits only — plus the parallel loader and
+the CLI's ``--jobs`` / ``--cache-dir`` flags.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.data import logfile
+from repro.data.store import DailyObservations, ObservationStore
+from repro.net import addr
+
+
+def _write(path, text):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return str(path)
+
+
+class TestDuplicateMerge:
+    def test_duplicates_sum_hits(self, tmp_path):
+        path = _write(
+            tmp_path / "dup.txt",
+            "# day=3\n2001:db8::1 4\n2001:db8::2 1\n2001:db8::1 6\n",
+        )
+        day, entries = logfile.read_daily_log(path)
+        assert day == 3
+        assert entries == [(addr.parse("2001:db8::1"), 10), (addr.parse("2001:db8::2"), 1)]
+
+    def test_duplicates_merge_in_arrays_path(self, tmp_path):
+        path = _write(
+            tmp_path / "dup.txt",
+            "# day=3\n2001:db8::2 1\n2001:db8::1 4\n2001:db8::1 6\n",
+        )
+        _day, hi, lo, hits = logfile.read_daily_log_arrays(path)
+        assert hi.shape == (2,)
+        assert lo.tolist() == [1, 2]
+        assert hits.tolist() == [10, 1]
+
+    def test_store_counts_duplicate_once(self, tmp_path):
+        path = _write(tmp_path / "dup.txt", "::1 1\n::1 1\n::2 1\n")
+        store = logfile.load_store([path])
+        assert len(store.get(store.days()[0])) == 2
+
+
+class TestHitCountValidation:
+    @pytest.mark.parametrize("digits", ["٣", "３", "²", "٣3", "3٣"])
+    def test_non_ascii_digits_rejected(self, tmp_path, digits):
+        # str.isdigit() accepts these; the log format must not.
+        assert digits.isdigit() or digits[:1].isdigit()
+        path = _write(tmp_path / "bad.txt", f"2001:db8::1 {digits}\n")
+        with pytest.raises(logfile.LogFormatError, match="bad.txt:1"):
+            logfile.read_daily_log(path)
+        with pytest.raises(logfile.LogFormatError, match="bad.txt:1"):
+            logfile.read_daily_log_arrays(path)
+
+    def test_ascii_digits_accepted(self, tmp_path):
+        path = _write(tmp_path / "ok.txt", "2001:db8::1 0123456789\n")
+        _day, entries = logfile.read_daily_log(path)
+        assert entries == [(addr.parse("2001:db8::1"), 123456789)]
+
+    def test_huge_hits_survive_dict_api(self, tmp_path):
+        path = _write(tmp_path / "big.txt", f"::1 {10**18}\n")
+        _day, entries = logfile.read_daily_log(path)
+        assert entries[0][1] == 10**18
+
+
+class TestParallelLoading:
+    def _make_logs(self, tmp_path, days=3):
+        store = ObservationStore()
+        rng = np.random.default_rng(5)
+        for day in range(days):
+            values = [int(v) for v in rng.integers(1, 2**62, size=200)]
+            store.add_observations(DailyObservations(day, values))
+        return logfile.save_store(store, str(tmp_path / "logs"))
+
+    def _assert_stores_equal(self, a, b):
+        assert a.days() == b.days()
+        for day in a.days():
+            assert np.array_equal(a.get(day).addresses, b.get(day).addresses)
+
+    def test_parallel_equals_serial(self, tmp_path):
+        paths = self._make_logs(tmp_path)
+        serial = logfile.load_store(paths)
+        parallel = logfile.load_store(paths, jobs=2)
+        self._assert_stores_equal(serial, parallel)
+
+    def test_jobs_zero_means_all_cpus(self, tmp_path):
+        paths = self._make_logs(tmp_path)
+        self._assert_stores_equal(
+            logfile.load_store(paths), logfile.load_store(paths, jobs=0)
+        )
+
+    def test_parallel_with_cache(self, tmp_path):
+        paths = self._make_logs(tmp_path)
+        cache = str(tmp_path / "cache")
+        serial = logfile.load_store(paths)
+        cold = logfile.load_store(paths, jobs=2, cache_dir=cache)
+        warm = logfile.load_store(paths, jobs=2, cache_dir=cache)
+        self._assert_stores_equal(serial, cold)
+        self._assert_stores_equal(serial, warm)
+
+    def test_parallel_error_propagates(self, tmp_path):
+        paths = self._make_logs(tmp_path)
+        bad = _write(tmp_path / "logs" / "zz-bad.txt", "2001:db8::1\n")
+        with pytest.raises(logfile.LogFormatError):
+            logfile.load_store(paths + [bad], jobs=2)
+
+
+class TestCliFlags:
+    def test_census_with_jobs_and_cache(self, tmp_path, capsys):
+        store = ObservationStore()
+        store.add_observations(DailyObservations(0, [1, 2, 3]))
+        paths = logfile.save_store(store, str(tmp_path / "logs"))
+        cache = str(tmp_path / "cache")
+
+        argv = paths + ["--jobs", "2", "--cache-dir", cache]
+        assert cli.main_census(argv) == 0
+        first = capsys.readouterr().out
+        assert "addresses" in first
+
+        # Warm run through the cache prints the same census.
+        assert cli.main_census(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cache_dir_env_default(self, tmp_path, monkeypatch, capsys):
+        store = ObservationStore()
+        store.add_observations(DailyObservations(0, [5, 6]))
+        paths = logfile.save_store(store, str(tmp_path / "logs"))
+        cache = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        assert cli.main_census(paths) == 0
+        capsys.readouterr()
+        assert cache.exists() and any(cache.iterdir())
