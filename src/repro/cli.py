@@ -7,6 +7,9 @@ files (``address hits`` lines; see :mod:`repro.data.logfile`):
   the given logs.
 * ``repro-stability --reference DAY LOG...`` — nd-stable classification
   of the reference day within its sliding window.
+* ``repro-sweep LOG...`` — nd-stable classification of *every* day in
+  one pass of the incremental sweep engine (``--jobs`` parallelism,
+  ``--prefix-len`` granularity).
 * ``repro-mra LOG...`` — the MRA plot of the logs' union, as an ASCII
   chart plus the numeric ratio rows.
 * ``repro-dense --density n@/p LOG...`` — the dense prefixes of the
@@ -33,6 +36,7 @@ import importlib
 census_mod = importlib.import_module("repro.core.census")
 density_mod = importlib.import_module("repro.core.density")
 temporal_mod = importlib.import_module("repro.core.temporal")
+sweep_mod = importlib.import_module("repro.core.sweep")
 from repro.data import logfile, store as obstore
 from repro.viz.mra_plot import mra_plot
 
@@ -176,6 +180,80 @@ def main_stability(argv: Optional[Sequence[str]] = None) -> int:
                 f"{si_count(result.active_count)} active"
             ),
         )
+    )
+    return 0
+
+
+@_pipe_safe
+def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-sweep``: classify every day in one pass."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description=(
+            "Sliding-window nd-stable classification of every day of the "
+            "logs via the incremental sweep engine."
+        ),
+    )
+    _common_arguments(parser)
+    parser.add_argument("-n", type=int, default=3, help="stability gap in days")
+    parser.add_argument("--window", type=int, default=7, help="window half-span")
+    parser.add_argument(
+        "--prefix-len",
+        type=int,
+        default=128,
+        metavar="P",
+        help="truncate addresses to /P prefixes before sweeping (e.g. 64)",
+    )
+    parser.add_argument(
+        "--chunk-days",
+        type=int,
+        default=sweep_mod.DEFAULT_CHUNK_DAYS,
+        metavar="D",
+        help="reference days per sweep chunk (memory/parallelism unit)",
+    )
+    args = parser.parse_args(argv)
+    store = _load_store(args)
+    if not 0 <= args.prefix_len <= 128:
+        raise SystemExit(f"bad --prefix-len {args.prefix_len}: not in 0..128")
+    if args.prefix_len < 128:
+        store = store.truncated(args.prefix_len)
+    results = sweep_mod.sweep_days(
+        store,
+        window_before=args.window,
+        window_after=args.window,
+        jobs=args.jobs,
+        chunk_days=args.chunk_days,
+    )
+    rows = []
+    total_active = 0
+    total_stable = 0
+    for result in results:
+        stable = result.stable_count(args.n)
+        total_active += result.active_count
+        total_stable += stable
+        rows.append(
+            [
+                str(result.reference_day),
+                si_count(result.active_count),
+                count_with_share(stable, result.active_count),
+            ]
+        )
+    granularity = "addresses" if args.prefix_len == 128 else f"/{args.prefix_len}s"
+    print(
+        render_table(
+            ["day", "active", f"{args.n}d-stable"],
+            rows,
+            title=(
+                f"Sweep of {len(results)} days ({granularity}, "
+                f"-{args.window}d,+{args.window}d)"
+            ),
+        )
+    )
+    print()
+    print(
+        f"total: {count_with_share(total_stable, total_active)} of "
+        f"{si_count(total_active)} active address-days are "
+        f"{args.n}d-stable"
     )
     return 0
 
@@ -329,6 +407,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     tools = {
         "census": main_census,
         "stability": main_stability,
+        "sweep": main_sweep,
         "mra": main_mra,
         "dense": main_dense,
         "stableprefix": main_stableprefix,

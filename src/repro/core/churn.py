@@ -52,31 +52,18 @@ class SpanTable:
 def observation_spans(
     observations: ObservationStore, days: Sequence[int]
 ) -> SpanTable:
-    """Compute per-address first/last/day-count over the given days."""
-    chunks = []
-    day_chunks = []
-    for day in days:
-        array = observations.array(day)
-        chunks.append(array)
-        day_chunks.append(np.full(array.shape[0], day, dtype=np.int64))
-    if not chunks:
-        empty = np.empty(0, dtype=np.int64)
-        return SpanTable(
-            addresses=np.empty(0, dtype=obstore.ADDRESS_DTYPE),
-            first=empty,
-            last=empty,
-            days_seen=empty,
-        )
-    combined = np.concatenate(chunks)
-    combined_days = np.concatenate(day_chunks)
-    unique, inverse = np.unique(combined, return_inverse=True)
-    first = np.full(unique.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
-    last = np.full(unique.shape[0], np.iinfo(np.int64).min, dtype=np.int64)
-    days_seen = np.zeros(unique.shape[0], dtype=np.int64)
-    np.minimum.at(first, inverse, combined_days)
-    np.maximum.at(last, inverse, combined_days)
-    np.add.at(days_seen, inverse, 1)
-    return SpanTable(addresses=unique, first=first, last=last, days_seen=days_seen)
+    """Compute per-address first/last/day-count over the given days.
+
+    Runs on the sweep engine's grouped pass
+    (:func:`repro.core.sweep.grouped_spans`): one stable radix sort by
+    (address, day) replaces the structured ``np.unique`` and the
+    scalar-dispatch ``ufunc.at`` updates of the original implementation.
+    """
+    from repro.core.sweep import grouped_spans
+
+    arrays = [observations.array(day) for day in days]
+    addresses, first, last, days_seen = grouped_spans(arrays, list(days))
+    return SpanTable(addresses=addresses, first=first, last=last, days_seen=days_seen)
 
 
 def lifetime_histogram(

@@ -138,12 +138,19 @@ class MraProfile:
         """Product of the ratios at resolution ``k``.
 
         Equals the set size for any k (the identity the paper notes),
-        which the property-based tests assert.
+        which the property-based tests assert.  The factors telescope —
+        ``(n_k/n_0)(n_2k/n_k)...(n_128/n_{128-k}) = n_128/n_0`` — so the
+        product is evaluated exactly over the integer counts; repeated
+        float multiplication drifts below the identity for large sets.
+        A zero anywhere in the denominators (the empty set) makes some
+        factor 0, hence a zero product, matching :meth:`ratio`.
         """
-        product = 1.0
-        for _, value in self.series(k):
-            product *= value
-        return product
+        if k < 1 or 128 % k != 0:
+            raise ValueError(f"k must divide 128: {k}")
+        denominators = self.counts[0:128:k]
+        if np.any(denominators == 0):
+            return 0.0
+        return float(self.counts[128]) / float(self.counts[0])
 
 
 def profile(addresses: ArrayOrAddresses) -> MraProfile:

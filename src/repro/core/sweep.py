@@ -1,0 +1,471 @@
+"""Incremental sliding-window sweep engine for temporal classification (§5.1).
+
+:func:`repro.core.temporal.classify_day` answers one question — "which of
+this day's addresses are nd-stable?" — by re-scanning every day of the
+``(-before, +after)`` window.  Classifying *every* day of a store that way
+touches each day array ``window``-many times, which dominates the runtime
+of full-campaign analyses now that ingestion is fast.
+
+This module classifies every requested day in one chronological pass.
+The core observation: for an address active on reference day ``r``, the
+classifier's per-address extremes are exactly the first and last days the
+address was observed within ``[r - before, r + after]`` — and because the
+address *is* observed on ``r``, those extremes can be read off the
+address's global observation sequence with two binary searches.  So the
+engine:
+
+1. concatenates the window days' ``(hi, lo)`` address columns with a
+   parallel day column (each day array touched once);
+2. sorts the observations by ``(address, day)`` with one stable radix
+   ``lexsort`` — no structured-dtype comparisons anywhere on the hot
+   path;
+3. assigns run ids to equal-address runs and builds integer keys
+   ``run_id * scale + day`` so that *per-address* day ranges can be
+   found with plain global ``searchsorted`` calls;
+4. answers every (observation, window) query at once with two vectorized
+   binary searches, then scatters the gaps back to each day's array
+   order.
+
+The emitted :class:`~repro.core.temporal.StabilityResult` objects are
+bit-identical to per-day :func:`classify_day` output (tested), while each
+day array is touched O(1) times instead of O(window).
+
+Long campaigns are processed in bounded-memory chunks of reference days
+(overlapping by the window so results stay exact), and chunks can be
+fanned out over ``fork``-based worker processes — across disjoint day
+ranges and, via :func:`sweep_granularities`, across prefix granularities
+(/128 addresses and /64 prefixes) simultaneously.
+
+:class:`SweepState` is the engine's incremental form for streaming: a
+window state that days enter (``push_day``) and leave (``evict_before``),
+holding the live window's observations merged and sorted so any buffered
+day can be classified without rebuilding a store.
+:class:`repro.core.streaming.StabilityStream` is built on it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.temporal import (
+    DEFAULT_WINDOW_AFTER,
+    DEFAULT_WINDOW_BEFORE,
+    StabilityResult,
+)
+from repro.data.store import ADDRESS_DTYPE, ObservationStore
+
+#: Reference days per chunk: bounds peak memory (a chunk loads
+#: ``chunk + before + after`` day arrays) and is the unit of parallelism.
+DEFAULT_CHUNK_DAYS = 64
+
+
+class _SortedWindow:
+    """Observations of several days, sorted by (address, day).
+
+    ``hi``/``lo``/``day`` are the sorted columns; ``order`` is the
+    permutation that produced them (for scattering results back);
+    ``gid`` numbers equal-address runs; ``key = gid * scale + day-offset``
+    lets per-address day ranges be located with global ``searchsorted``.
+
+    Precondition: within the *input* columns, the observations of any one
+    address must already be in ascending day order (true whenever whole
+    day arrays are concatenated chronologically, since ``lexsort`` is
+    stable).  ``margin`` must be at least ``before + after + 1`` of any
+    window later queried, so that out-of-range query keys cannot cross
+    into a neighbouring address's key range.
+    """
+
+    __slots__ = ("order", "hi", "lo", "day", "gid", "key", "scale", "offset")
+
+    def __init__(
+        self, hi: np.ndarray, lo: np.ndarray, day: np.ndarray, margin: int
+    ) -> None:
+        order = np.lexsort((lo, hi))
+        self.order = order
+        self.hi = hi[order]
+        self.lo = lo[order]
+        sday = np.asarray(day, dtype=np.int64)[order]
+        self.day = sday
+        n = sday.shape[0]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (self.hi[1:] != self.hi[:-1]) | (self.lo[1:] != self.lo[:-1])
+        self.gid = np.cumsum(boundary, dtype=np.int64) - 1
+        self.offset = int(sday.min())
+        span = int(sday.max()) - self.offset + 1
+        self.scale = span + int(margin)
+        if (int(self.gid[-1]) + 1) * self.scale >= 2**62:
+            raise ValueError(
+                "day span too large for sweep keys; reduce chunk_days"
+            )
+        self.key = self.gid * self.scale + (sday - self.offset)
+
+    def extremes(
+        self, positions: np.ndarray, low, high
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """First and last observation day, within ``[low, high]``, of the
+        address at each queried (sorted-order) position.
+
+        ``low``/``high`` may be scalars or arrays parallel to
+        ``positions``.  Each queried position's own day must lie inside
+        its ``[low, high]`` (true for window queries: the reference day
+        observation is its own witness), which guarantees both searches
+        land inside the address's run.
+        """
+        base = self.gid[positions] * self.scale
+        first = np.searchsorted(self.key, base + (low - self.offset), side="left")
+        last = (
+            np.searchsorted(self.key, base + (high - self.offset), side="right") - 1
+        )
+        return self.day[first], self.day[last]
+
+
+def _concat_columns(
+    arrays: Sequence[np.ndarray], days: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate day arrays into (hi, lo, day) columns."""
+    sizes = [array.shape[0] for array in arrays]
+    hi = np.concatenate([array["hi"] for array in arrays])
+    lo = np.concatenate([array["lo"] for array in arrays])
+    day = np.repeat(np.asarray(days, dtype=np.int64), sizes)
+    return hi, lo, day
+
+
+def grouped_spans(
+    arrays: Sequence[np.ndarray], days: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-address (addresses, first, last, days_seen) over day arrays.
+
+    The sweep engine's grouped pass without a window: one stable radix
+    sort by (address, day) instead of a structured ``np.unique`` plus
+    scalar-dispatch ``ufunc.at`` updates.  Backs
+    :func:`repro.core.churn.observation_spans`.
+    """
+    total = sum(array.shape[0] for array in arrays)
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=ADDRESS_DTYPE), empty, empty.copy(), empty.copy()
+    hi, lo, day = _concat_columns(arrays, [int(d) for d in days])
+    order = np.lexsort((day, lo, hi))
+    shi, slo, sday = hi[order], lo[order], day[order]
+    boundary = np.empty(total, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (shi[1:] != shi[:-1]) | (slo[1:] != slo[:-1])
+    starts = np.nonzero(boundary)[0]
+    ends = np.concatenate([starts[1:], [total]])
+    addresses = np.empty(starts.shape[0], dtype=ADDRESS_DTYPE)
+    addresses["hi"] = shi[starts]
+    addresses["lo"] = slo[starts]
+    return addresses, sday[starts], sday[ends - 1], ends - starts
+
+
+def _plan_chunks(ref_days: Sequence[int], chunk_days: int) -> List[List[int]]:
+    """Split sorted reference days into chunks of bounded day span."""
+    chunks: List[List[int]] = []
+    current = [ref_days[0]]
+    for day in ref_days[1:]:
+        if day - current[0] >= chunk_days:
+            chunks.append(current)
+            current = [day]
+        else:
+            current.append(day)
+    chunks.append(current)
+    return chunks
+
+
+def _sweep_chunk(
+    observations: ObservationStore,
+    ref_days: Sequence[int],
+    window_before: int,
+    window_after: int,
+) -> List[Tuple[int, np.ndarray]]:
+    """Classify one chunk of reference days; return (day, gaps) pairs.
+
+    Gaps arrays are parallel to each reference day's sorted address
+    array; absent days yield empty arrays, matching ``classify_day``.
+    """
+    low = ref_days[0] - window_before
+    high = ref_days[-1] + window_after
+    window_days = [day for day in observations.days() if low <= day <= high]
+    arrays = [observations.array(day) for day in window_days]
+    sizes = [array.shape[0] for array in arrays]
+    total = sum(sizes)
+    if total == 0:
+        return [(day, np.empty(0, dtype=np.int64)) for day in ref_days]
+    hi, lo, day_col = _concat_columns(arrays, window_days)
+    window = _SortedWindow(hi, lo, day_col, margin=window_before + window_after + 1)
+    # Mark which sorted positions belong to reference days (boundary days
+    # are context only — their own windows extend outside this chunk).
+    span = int(window.day.max()) - window.offset + 1
+    is_ref = np.zeros(span, dtype=bool)
+    for day in ref_days:
+        if 0 <= day - window.offset < span:
+            is_ref[day - window.offset] = True
+    qpos = np.nonzero(is_ref[window.day - window.offset])[0]
+    gaps_all = np.empty(total, dtype=np.int64)
+    if qpos.shape[0]:
+        qday = window.day[qpos]
+        first, last = window.extremes(qpos, qday - window_before, qday + window_after)
+        gaps_all[window.order[qpos]] = last - first
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    day_index = {day: i for i, day in enumerate(window_days)}
+    out: List[Tuple[int, np.ndarray]] = []
+    for day in ref_days:
+        i = day_index.get(day)
+        if i is None:
+            out.append((day, np.empty(0, dtype=np.int64)))
+        else:
+            out.append((day, gaps_all[starts[i] : starts[i + 1]]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parallel fan-out: chunks (and granularities) over fork-based workers.
+# ---------------------------------------------------------------------------
+
+#: Stores inherited by forked workers (set immediately before the pool is
+#: created; fork shares the parent's memory copy-on-write, so the stores
+#: are never pickled).
+_WORKER_STORES: Dict[int, ObservationStore] = {}
+
+
+def _worker_sweep(task):
+    """Pool worker: run one (store key, chunk) task against the inherited
+    stores."""
+    key, ref_days, window_before, window_after = task
+    return key, _sweep_chunk(_WORKER_STORES[key], ref_days, window_before, window_after)
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """None/1 -> serial; 0 -> all CPUs; N -> N workers."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0: {jobs}")
+    return jobs
+
+
+def _sweep_stores(
+    stores: Dict[int, ObservationStore],
+    ref_days: Sequence[int],
+    window_before: int,
+    window_after: int,
+    jobs: Optional[int],
+    chunk_days: int,
+) -> Dict[int, Dict[int, np.ndarray]]:
+    """Sweep several stores over the same reference days.
+
+    Returns ``{store key: {day: gaps}}``.  With ``jobs`` workers, all
+    (store, chunk) tasks share one fork-based pool, so parallelism spans
+    both disjoint day ranges and prefix granularities.
+    """
+    if window_before < 0 or window_after < 0:
+        raise ValueError("window spans must be non-negative")
+    if chunk_days < 1:
+        raise ValueError(f"chunk_days must be >= 1: {chunk_days}")
+    gaps: Dict[int, Dict[int, np.ndarray]] = {key: {} for key in stores}
+    if not ref_days:
+        return gaps
+    chunks = _plan_chunks(ref_days, chunk_days)
+    tasks = [
+        (key, chunk, window_before, window_after)
+        for key in stores
+        for chunk in chunks
+    ]
+    workers = min(_resolve_jobs(jobs), len(tasks))
+    if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+        _WORKER_STORES.update(stores)
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(workers) as pool:
+                outputs = pool.map(_worker_sweep, tasks)
+        finally:
+            _WORKER_STORES.clear()
+        for key, chunk_result in outputs:
+            gaps[key].update(chunk_result)
+    else:
+        for key, chunk, before, after in tasks:
+            gaps[key].update(_sweep_chunk(stores[key], chunk, before, after))
+    return gaps
+
+
+def _normalized_days(
+    observations: ObservationStore, days: Optional[Sequence[int]]
+) -> List[int]:
+    """The sorted, deduplicated reference day list for a sweep."""
+    if days is None:
+        return observations.days()
+    return sorted({int(day) for day in days})
+
+
+def sweep_days(
+    observations: ObservationStore,
+    days: Optional[Sequence[int]] = None,
+    window_before: int = DEFAULT_WINDOW_BEFORE,
+    window_after: int = DEFAULT_WINDOW_AFTER,
+    jobs: Optional[int] = None,
+    chunk_days: int = DEFAULT_CHUNK_DAYS,
+) -> List[StabilityResult]:
+    """Classify every requested day of the store in one rolling pass.
+
+    Equivalent to ``[classify_day(observations, d, ...) for d in days]``
+    — bit-identical results — but each day array is touched O(1) times
+    instead of once per overlapping window.  ``days`` defaults to every
+    day in the store; days absent from the store yield empty results.
+
+    ``jobs`` fans chunks of ``chunk_days`` reference days out over
+    fork-based worker processes (``0`` = all CPUs, ``None``/``1`` =
+    serial); results are independent of ``jobs`` and ``chunk_days``.
+    """
+    ref_days = _normalized_days(observations, days)
+    gaps = _sweep_stores(
+        {0: observations}, ref_days, window_before, window_after, jobs, chunk_days
+    )[0]
+    return [
+        StabilityResult(
+            reference_day=day,
+            window=(window_before, window_after),
+            active=observations.array(day),
+            gaps=gaps[day],
+        )
+        for day in ref_days
+    ]
+
+
+def sweep_granularities(
+    observations: ObservationStore,
+    prefix_lens: Iterable[int],
+    days: Optional[Sequence[int]] = None,
+    window_before: int = DEFAULT_WINDOW_BEFORE,
+    window_after: int = DEFAULT_WINDOW_AFTER,
+    jobs: Optional[int] = None,
+    chunk_days: int = DEFAULT_CHUNK_DAYS,
+) -> Dict[int, List[StabilityResult]]:
+    """Sweep several prefix granularities of one store at once.
+
+    ``prefix_lens`` names the granularities (128 = full addresses; 64 =
+    the paper's /64 prefixes; any length works).  All granularities'
+    chunks share one worker pool, so a two-granularity year sweep keeps
+    ``jobs`` workers busy throughout.  Returns ``{prefix_len: results}``
+    with each list equal to :func:`sweep_days` on the derived store.
+    """
+    stores = {
+        int(p): observations if int(p) >= 128 else observations.truncated(int(p))
+        for p in prefix_lens
+    }
+    ref_days = _normalized_days(observations, days)
+    gaps = _sweep_stores(stores, ref_days, window_before, window_after, jobs, chunk_days)
+    return {
+        p: [
+            StabilityResult(
+                reference_day=day,
+                window=(window_before, window_after),
+                active=store.array(day),
+                gaps=gaps[p][day],
+            )
+            for day in ref_days
+        ]
+        for p, store in stores.items()
+    }
+
+
+class SweepState:
+    """The sweep engine's incremental window state, for streaming use.
+
+    Days enter with :meth:`push_day` (chronological order) and leave with
+    :meth:`evict_before`; :meth:`classify` answers for any buffered
+    reference day, bit-identical to ``classify_day`` over a store holding
+    the same days.  The buffered observations are kept merged and sorted
+    by (address, day) — consolidation runs at most once per push, one
+    stable radix sort over the live window, replacing the per-emission
+    store rebuild and O(window) membership rescans of the pre-sweep
+    streaming classifier.
+    """
+
+    def __init__(
+        self,
+        window_before: int = DEFAULT_WINDOW_BEFORE,
+        window_after: int = DEFAULT_WINDOW_AFTER,
+    ) -> None:
+        if window_before < 0 or window_after < 0:
+            raise ValueError("window spans must be non-negative")
+        self.window_before = window_before
+        self.window_after = window_after
+        self._segments: "deque[Tuple[int, np.ndarray]]" = deque()
+        self._window: Optional[_SortedWindow] = None
+
+    @property
+    def days_held(self) -> int:
+        """Number of days currently buffered."""
+        return len(self._segments)
+
+    def push_day(self, day: int, addresses: np.ndarray) -> None:
+        """Add one day's sorted address array to the live window."""
+        day = int(day)
+        if self._segments and day <= self._segments[-1][0]:
+            raise ValueError(
+                f"days must be pushed in increasing order: {day} after "
+                f"{self._segments[-1][0]}"
+            )
+        self._segments.append((day, addresses))
+        self._window = None
+
+    def evict_before(self, day: int) -> None:
+        """Drop buffered days earlier than ``day`` from the window."""
+        evicted = False
+        while self._segments and self._segments[0][0] < day:
+            self._segments.popleft()
+            evicted = True
+        if evicted:
+            self._window = None
+
+    def _sorted_window(self) -> Optional[_SortedWindow]:
+        if self._window is None:
+            arrays = [array for _, array in self._segments]
+            if sum(array.shape[0] for array in arrays) == 0:
+                return None
+            hi, lo, day = _concat_columns(
+                arrays, [day for day, _ in self._segments]
+            )
+            self._window = _SortedWindow(
+                hi, lo, day, margin=self.window_before + self.window_after + 1
+            )
+        return self._window
+
+    def classify(self, reference: int) -> StabilityResult:
+        """Classify a buffered reference day within the live window.
+
+        Days outside ``[reference - before, reference + after]`` that are
+        still buffered (e.g. after a gap jump) are excluded by the key
+        query, not by eviction, so classification never depends on
+        eviction timing.
+        """
+        reference = int(reference)
+        window = self._sorted_window()
+        if window is None:
+            qpos = np.empty(0, dtype=np.int64)
+        else:
+            qpos = np.nonzero(window.day == reference)[0]
+        active = np.empty(qpos.shape[0], dtype=ADDRESS_DTYPE)
+        if qpos.shape[0]:
+            active["hi"] = window.hi[qpos]
+            active["lo"] = window.lo[qpos]
+            first, last = window.extremes(
+                qpos, reference - self.window_before, reference + self.window_after
+            )
+            gaps = last - first
+        else:
+            gaps = np.empty(0, dtype=np.int64)
+        return StabilityResult(
+            reference_day=reference,
+            window=(self.window_before, self.window_after),
+            active=active,
+            gaps=gaps,
+        )

@@ -111,9 +111,9 @@ def classify_day(
             continue
         present = obstore.member_mask(active, observations.array(day))
         if day < reference_day:
-            np.minimum.at(min_day, np.nonzero(present)[0], day)
+            min_day = np.where(present, np.minimum(min_day, day), min_day)
         else:
-            np.maximum.at(max_day, np.nonzero(present)[0], day)
+            max_day = np.where(present, np.maximum(max_day, day), max_day)
     return StabilityResult(
         reference_day=reference_day,
         window=(window_before, window_after),
@@ -167,11 +167,21 @@ def classify_week(
     window_before: int = DEFAULT_WINDOW_BEFORE,
     window_after: int = DEFAULT_WINDOW_AFTER,
 ) -> WeeklyStability:
-    """Run per-day stability over ``days`` and report the weekly unions."""
-    stable_sets = []
-    for day in days:
-        result = classify_day(observations, day, window_before, window_after)
-        stable_sets.append(result.stable(n))
+    """Run per-day stability over ``days`` and report the weekly unions.
+
+    The per-day classifications run through the sweep engine
+    (:func:`repro.core.sweep.sweep_days`), so each window day is touched
+    once for the whole week rather than once per overlapping window.
+    """
+    from repro.core.sweep import sweep_days
+
+    results = {
+        result.reference_day: result
+        for result in sweep_days(
+            observations, list(days), window_before, window_after
+        )
+    }
+    stable_sets = [results[int(day)].stable(n) for day in days]
     return WeeklyStability(
         days=list(days),
         n=n,
@@ -286,10 +296,31 @@ def stability_table(
     also active on the earlier reference day) and weekly (this week's
     union intersected with the earlier week's union), matching Tables
     2a/2b versus 2c/2d.
+
+    The daily and weekly figures share one sweep-engine pass, so the
+    reference day (which is also a week day) is classified exactly once.
     """
+    from repro.core.sweep import sweep_days
+
     week_days = list(range(reference_day, reference_day + week_length))
-    daily = classify_day(observations, reference_day, window_before, window_after)
-    weekly = classify_week(observations, week_days, n, window_before, window_after)
+    results = {
+        result.reference_day: result
+        for result in sweep_days(
+            observations,
+            week_days + [reference_day],
+            window_before,
+            window_after,
+        )
+    }
+    daily = results[reference_day]
+    weekly = WeeklyStability(
+        days=week_days,
+        n=n,
+        active_union=observations.union_over(week_days),
+        stable_union=obstore.union_many(
+            [results[day].stable(n) for day in week_days]
+        ),
+    )
     table = StabilityTable(
         epoch_name=epoch_name,
         reference_day=reference_day,

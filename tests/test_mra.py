@@ -175,3 +175,28 @@ class TestGroups:
         profiles = [profile([1, 2]), profile([3, 4, 5])]
         matrix = segment_ratio_matrix(profiles)
         assert matrix.shape == (2, 8)
+
+
+class TestRatioProductExactness:
+    """ratio_product telescopes over the integer counts, so the identity
+    ∏ γ = set size holds *exactly* even for million-address sets, where
+    repeated float multiplication used to drift below the identity."""
+
+    def test_million_address_set_exact(self):
+        rng = np.random.default_rng(99)
+        hi = rng.integers(0, 1 << 63, size=1_000_000, dtype=np.uint64)
+        lo = rng.integers(0, 1 << 63, size=1_000_000, dtype=np.uint64)
+        array = obstore.halves_to_array(hi, lo)
+        prof = profile(array)
+        for k in (1, 2, 4, 8, 16, 32, 64, 128):
+            assert prof.ratio_product(k) == float(prof.size)
+
+    def test_small_sets_exact(self):
+        for size in (1, 2, 3, 257):
+            prof = profile(list(range(1, size + 1)))
+            for k in (1, 16, 128):
+                assert prof.ratio_product(k) == float(size)
+
+    def test_empty_set_product_zero(self):
+        prof = profile([])
+        assert prof.ratio_product(16) == 0.0

@@ -126,9 +126,10 @@ class TestMraProperties:
 
     @given(st.sets(addresses_strategy, min_size=1, max_size=60))
     def test_ratio_product_identity(self, values):
+        # Exact, not approximate: the product telescopes over integer counts.
         prof = profile(values)
         for k in (1, 4, 16):
-            assert abs(prof.ratio_product(k) - len(values)) < 1e-6 * len(values)
+            assert prof.ratio_product(k) == float(len(values))
 
     @given(st.sets(addresses_strategy, min_size=1, max_size=60))
     def test_split_bound(self, values):

@@ -182,3 +182,53 @@ class TestStabilityTable:
         # The address churns, but its /64 is 3d-stable.
         assert table_addresses.daily_stable == 0
         assert table_64s.daily_stable == 1
+
+
+class TestClassifyDayRegression:
+    """The vectorized classify_day must match the original scalar-dispatch
+    implementation (``np.minimum.at``/``np.maximum.at`` over ``nonzero``)
+    bit-for-bit on randomized stores."""
+
+    @staticmethod
+    def _reference_classify_day(
+        observations, reference_day, window_before=7, window_after=7
+    ):
+        import numpy as np
+
+        active = observations.array(reference_day)
+        size = obstore.array_size(active)
+        min_day = np.full(size, reference_day, dtype=np.int64)
+        max_day = np.full(size, reference_day, dtype=np.int64)
+        for day in range(
+            reference_day - window_before, reference_day + window_after + 1
+        ):
+            if day == reference_day or day not in observations:
+                continue
+            present = obstore.member_mask(active, observations.array(day))
+            if day < reference_day:
+                np.minimum.at(min_day, np.nonzero(present)[0], day)
+            else:
+                np.maximum.at(max_day, np.nonzero(present)[0], day)
+        return active, max_day - min_day
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_original_on_random_stores(self, seed):
+        import random
+
+        import numpy as np
+
+        rng = random.Random(seed)
+        store = ObservationStore()
+        for day in range(30):
+            if rng.random() < 0.2:
+                continue
+            store.add_day(
+                day, [rng.randrange(1, 400) for _ in range(rng.randrange(0, 120))]
+            )
+        for day in store.days():
+            for window in ((7, 7), (3, 0), (0, 3)):
+                result = classify_day(store, day, *window)
+                active, gaps = self._reference_classify_day(store, day, *window)
+                assert np.array_equal(result.active, active)
+                assert result.gaps.dtype == gaps.dtype
+                assert np.array_equal(result.gaps, gaps)
