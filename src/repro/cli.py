@@ -14,6 +14,9 @@ files (``address hits`` lines; see :mod:`repro.data.logfile`):
   chart plus the numeric ratio rows.
 * ``repro-dense --density n@/p LOG...`` — the dense prefixes of the
   union, with the Table-3 accounting columns.
+* ``repro-spatial LOG...`` — spatial profile of *every* day via the
+  array-native spatial engine (``--jobs`` parallelism, ``--cull`` to
+  scope to native addresses, repeatable ``--density`` classes).
 
 Every tool accepts ``--simulate SCALE`` instead of log files to run
 against freshly generated simulator data, so the CLI is usable with zero
@@ -37,6 +40,7 @@ census_mod = importlib.import_module("repro.core.census")
 density_mod = importlib.import_module("repro.core.density")
 temporal_mod = importlib.import_module("repro.core.temporal")
 sweep_mod = importlib.import_module("repro.core.sweep")
+spatial_mod = importlib.import_module("repro.core.spatial")
 from repro.data import logfile, store as obstore
 from repro.viz.mra_plot import mra_plot
 
@@ -336,6 +340,68 @@ def main_dense(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+def main_spatial(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-spatial``: per-day spatial profiles."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spatial",
+        description=(
+            "Spatial profile of every day of the logs — MRA aggregate "
+            "counts and dense-prefix (n@/p) classes — via the "
+            "array-native spatial engine."
+        ),
+    )
+    _common_arguments(parser)
+    parser.add_argument(
+        "--density",
+        action="append",
+        default=None,
+        metavar="n@/p",
+        help="density class to profile, e.g. 2@/112 (repeatable; "
+        "default: 2@/112 and 2@/120)",
+    )
+    parser.add_argument(
+        "--cull",
+        action="store_true",
+        help="profile only native (\"Other\") addresses, as in the paper",
+    )
+    args = parser.parse_args(argv)
+    specs = args.density if args.density else ["2@/112", "2@/120"]
+    classes = []
+    for spec in specs:
+        try:
+            n_text, _, p_text = spec.partition("@/")
+            classes.append(density_mod.DensityClass(int(n_text), int(p_text)))
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(f"bad --density {spec!r}: {exc}") from exc
+    store = _load_store(args)
+    results = spatial_mod.sweep_spatial(
+        store, classes=classes, jobs=args.jobs, cull=args.cull
+    )
+    header = ["day", "addrs", "/64s"] + [
+        f"{cls.label} pfx (addrs)" for cls in classes
+    ]
+    rows = []
+    for result in results:
+        sixty_fours = int(result.mra_counts[64]) if result.mra_counts is not None else 0
+        row = [str(result.day), si_count(result.total), si_count(sixty_fours)]
+        for summary in result.dense:
+            row.append(
+                f"{si_count(summary.num_prefixes)} "
+                f"({count_with_share(summary.contained_addresses, result.total)})"
+            )
+        rows.append(row)
+    scope = "native (Other) addresses" if args.cull else "all addresses"
+    print(
+        render_table(
+            header,
+            rows,
+            title=f"Spatial sweep of {len(results)} days ({scope})",
+        )
+    )
+    return 0
+
+
+@_pipe_safe
 def main_stableprefix(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-stableprefix`` (§7.2 plan discovery)."""
     parser = argparse.ArgumentParser(
@@ -410,6 +476,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": main_sweep,
         "mra": main_mra,
         "dense": main_dense,
+        "spatial": main_spatial,
         "stableprefix": main_stableprefix,
         "simulate": main_simulate,
     }

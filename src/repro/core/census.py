@@ -79,6 +79,37 @@ class CensusRow:
         return self.share(self.eui64_not_6to4)
 
 
+def transition_masks(
+    array: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized (teredo, sixto4, isatap) membership masks of an array.
+
+    The masks are mutually exclusive (an ISATAP-looking IID inside a
+    Teredo or 6to4 prefix counts as the tunnelling mechanism, matching
+    :func:`repro.core.format.transition_kind`).
+    """
+    hi = array["hi"]
+    lo = array["lo"]
+    teredo_mask = (hi >> np.uint64(32)) == np.uint64(0x20010000)
+    sixto4_mask = (hi >> np.uint64(48)) == np.uint64(0x2002)
+    isatap_marker = (lo >> np.uint64(32)) & np.uint64(0xFDFFFFFF)
+    isatap_mask = (
+        (isatap_marker == np.uint64(0x00005EFE)) & ~teredo_mask & ~sixto4_mask
+    )
+    return teredo_mask, sixto4_mask, isatap_mask
+
+
+def other_mask(array: np.ndarray) -> np.ndarray:
+    """Mask selecting the native ("Other") addresses of an array.
+
+    The vectorized form of the culling step: the spatial and temporal
+    classifiers run on ``array[other_mask(array)]``, which is how the
+    paper scopes its Section 6 results.
+    """
+    teredo, sixto4, isatap = transition_masks(array)
+    return ~(teredo | sixto4 | isatap)
+
+
 def _eui64_stats_array(array: np.ndarray) -> Tuple[int, int]:
     """Vectorized EUI-64 count and distinct-MAC count on an address array.
 
@@ -115,15 +146,10 @@ def census(
         array = obstore.to_array(addresses)
     total = int(array.shape[0])
 
-    hi = array["hi"]
-    lo = array["lo"]
-    teredo_mask = (hi >> np.uint64(32)) == np.uint64(0x20010000)
-    sixto4_mask = (hi >> np.uint64(48)) == np.uint64(0x2002)
-    isatap_marker = (lo >> np.uint64(32)) & np.uint64(0xFDFFFFFF)
-    isatap_mask = (isatap_marker == np.uint64(0x00005EFE)) & ~teredo_mask & ~sixto4_mask
-    other_mask = ~(teredo_mask | sixto4_mask | isatap_mask)
+    teredo_mask, sixto4_mask, isatap_mask = transition_masks(array)
+    native_mask = ~(teredo_mask | sixto4_mask | isatap_mask)
 
-    other_array = array[other_mask]
+    other_array = array[native_mask]
     other_64s = obstore.truncate_array(other_array, 64)
     other_count = int(other_array.shape[0])
     sixty_four_count = int(other_64s.shape[0])

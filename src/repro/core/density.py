@@ -12,16 +12,27 @@ paper reports for each density class:
 * the resulting address density (observed / possible).
 
 These are exactly the columns of Table 3.
+
+The searches run on the array-native spatial engine
+(:mod:`repro.core.spatial`): one adjacent-LCP scan of the sorted address
+array is shared by every density class of a :func:`table3` sweep, and
+each class is one run-length encoding of that scan — no per-class
+truncate/sort/unique pass and no radix tree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.mra import ArrayOrAddresses, _as_address_array
+from repro.core.mra import (
+    ArrayOrAddresses,
+    _as_address_array,
+    adjacent_common_prefix_lengths,
+)
+from repro.core.spatial import dense_runs
 from repro.data import store as obstore
 from repro.net import addr
 from repro.net.prefix import Prefix, check_length
@@ -99,49 +110,21 @@ class DenseResult:
         return self.contained_addresses / self.possible_addresses
 
 
-def _dense_fixed_from_array(
-    array: np.ndarray, n: int, p: int
-) -> Tuple[List[Tuple[int, int, int]], int]:
-    """Vectorized fixed-length dense search on a sorted address array.
-
-    Returns the dense (network, p, count) list and the total number of
-    observed addresses falling inside dense prefixes.
-    """
-    if array.shape[0] == 0:
-        return [], 0
-    full = array.copy()
-    if p <= 64:
-        mask = np.uint64(0) if p == 0 else np.uint64(((1 << p) - 1) << (64 - p))
-        full["hi"] = full["hi"] & mask
-        full["lo"] = 0
-    else:
-        low_bits = p - 64
-        mask = (
-            np.uint64(0xFFFFFFFFFFFFFFFF)
-            if low_bits == 64
-            else np.uint64(((1 << low_bits) - 1) << (64 - low_bits))
-        )
-        full["lo"] = full["lo"] & mask
-    unique, counts = np.unique(full, return_counts=True)
-    dense_mask = counts >= n
-    dense_networks = unique[dense_mask]
-    dense_counts = counts[dense_mask]
-    prefixes = [
-        ((int(hi) << 64) | int(lo), p, int(count))
-        for (hi, lo), count in zip(dense_networks, dense_counts)
-    ]
-    contained = int(dense_counts.sum())
-    return prefixes, contained
-
-
 def find_dense(
-    addresses: ArrayOrAddresses, density_class: DensityClass
+    addresses: ArrayOrAddresses,
+    density_class: DensityClass,
+    lengths: Optional[np.ndarray] = None,
 ) -> DenseResult:
-    """Find all prefixes of one density class among distinct addresses."""
+    """Find all prefixes of one density class among distinct addresses.
+
+    Input is canonicalized (sorted, deduplicated) before counting, so
+    repeated observations of an address can neither push a prefix over
+    the ``n`` threshold nor inflate ``contained_addresses``.  ``lengths``
+    optionally supplies the precomputed adjacent-LCP array of the
+    canonical input, letting multi-class sweeps share one scan.
+    """
     array = _as_address_array(addresses)
-    prefixes, contained = _dense_fixed_from_array(
-        array, density_class.n, density_class.p
-    )
+    prefixes, contained = dense_runs(array, density_class.n, density_class.p, lengths)
     return DenseResult(
         density_class=density_class,
         prefixes=prefixes,
@@ -153,9 +136,14 @@ def table3(
     addresses: ArrayOrAddresses,
     classes: Sequence[DensityClass] = TABLE3_CLASSES,
 ) -> List[DenseResult]:
-    """Run the full Table 3 sweep over the given density classes."""
+    """Run the full Table 3 sweep over the given density classes.
+
+    One adjacent-LCP scan of the canonical address array serves every
+    class; each row is then a single run-length pass over that scan.
+    """
     array = _as_address_array(addresses)
-    return [find_dense(array, density_class) for density_class in classes]
+    lengths = adjacent_common_prefix_lengths(array)
+    return [find_dense(array, density_class, lengths) for density_class in classes]
 
 
 def dense_prefix_objects(result: DenseResult) -> List[Prefix]:

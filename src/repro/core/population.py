@@ -7,50 +7,47 @@ prefixes — for /32, /48 and /112 aggregates of addresses and /32, /48
 aggregates of /64s — to show how strongly observed IPv6 addresses
 concentrate in a small subset of prefixes.
 
-The populations are computed from sorted address arrays by run-length
-encoding on the truncated prefix, which is linear after the sort.
+The populations are computed on the array-native spatial engine
+(:mod:`repro.core.spatial`): aggregates are the runs of the sorted
+address array delimited by adjacent common prefixes shorter than the
+aggregate length, so a whole family of aggregate lengths shares one
+adjacent-LCP scan per base array.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.mra import ArrayOrAddresses, _as_address_array
+from repro.core.mra import (
+    ArrayOrAddresses,
+    _as_address_array,
+    adjacent_common_prefix_lengths,
+)
+from repro.core.spatial import prefix_runs
 from repro.data import store as obstore
 
 
 def aggregate_populations(
-    addresses: ArrayOrAddresses, aggregate_len: int
+    addresses: ArrayOrAddresses,
+    aggregate_len: int,
+    lengths: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Population of every active /``aggregate_len`` prefix.
 
-    Returns one count per *active* aggregate (prefixes containing zero
-    observed items are naturally absent), unordered.
+    Returns one count of *distinct* addresses per active aggregate
+    (prefixes containing zero observed items are naturally absent), in
+    ascending aggregate-network order.  ``lengths`` optionally supplies
+    the precomputed adjacent-LCP array of the canonical input, letting
+    several aggregate lengths share one scan.
     """
     array = _as_address_array(addresses)
     if array.shape[0] == 0:
         return np.empty(0, dtype=np.int64)
-    truncated = obstore.truncate_array(array, aggregate_len)
-    # truncate_array dedupes; recompute populations by matching each
-    # address to its truncated aggregate via searchsorted on the dedup set.
-    full = array.copy()
-    if aggregate_len <= 64:
-        mask = np.uint64(0) if aggregate_len == 0 else np.uint64(
-            ((1 << aggregate_len) - 1) << (64 - aggregate_len)
-        )
-        full["hi"] = full["hi"] & mask
-        full["lo"] = 0
-    else:
-        low_bits = aggregate_len - 64
-        mask = np.uint64(((1 << low_bits) - 1) << (64 - low_bits)) if low_bits < 64 else np.uint64(
-            0xFFFFFFFFFFFFFFFF
-        )
-        full["lo"] = full["lo"] & mask
-    positions = np.searchsorted(truncated, full)
-    return np.bincount(positions, minlength=truncated.shape[0]).astype(np.int64)
+    _starts, counts = prefix_runs(array, aggregate_len, lengths)
+    return counts
 
 
 @dataclass
@@ -90,10 +87,13 @@ class PopulationCcdf:
 
 
 def population_ccdf(
-    addresses: ArrayOrAddresses, aggregate_len: int, label: str = ""
+    addresses: ArrayOrAddresses,
+    aggregate_len: int,
+    label: str = "",
+    lengths: Optional[np.ndarray] = None,
 ) -> PopulationCcdf:
     """Build the CCDF of populations for one aggregate length."""
-    populations = np.sort(aggregate_populations(addresses, aggregate_len))
+    populations = np.sort(aggregate_populations(addresses, aggregate_len, lengths))
     if not label:
         label = f"{aggregate_len}-agg."
     return PopulationCcdf(label=label, populations=populations)
@@ -105,16 +105,19 @@ def figure3_series(
     """The five series of Figure 3 for one week's address set.
 
     Addresses contribute /32-, /48- and /112-aggregate populations; the
-    derived /64 set contributes /32- and /48-aggregate populations.
+    derived /64 set contributes /32- and /48-aggregate populations.  One
+    adjacent-LCP scan per base set (addresses, /64s) feeds all its series.
     """
     array = _as_address_array(addresses)
     sixty_fours = obstore.truncate_array(array, 64)
+    addr_lengths = adjacent_common_prefix_lengths(array)
+    sf_lengths = adjacent_common_prefix_lengths(sixty_fours)
     return [
-        population_ccdf(array, 32, "32-agg. of IPv6 addrs"),
-        population_ccdf(sixty_fours, 32, "32-agg. of /64s"),
-        population_ccdf(array, 48, "48-agg. of IPv6 addrs"),
-        population_ccdf(sixty_fours, 48, "48-agg. of /64s"),
-        population_ccdf(array, 112, "112-agg of IPv6 addrs"),
+        population_ccdf(array, 32, "32-agg. of IPv6 addrs", addr_lengths),
+        population_ccdf(sixty_fours, 32, "32-agg. of /64s", sf_lengths),
+        population_ccdf(array, 48, "48-agg. of IPv6 addrs", addr_lengths),
+        population_ccdf(sixty_fours, 48, "48-agg. of /64s", sf_lengths),
+        population_ccdf(array, 112, "112-agg of IPv6 addrs", addr_lengths),
     ]
 
 

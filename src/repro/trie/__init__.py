@@ -5,11 +5,13 @@ from repro.trie.aguri import (
     addresses_in_dense_prefixes,
     build_tree,
     compute_dense_prefixes,
+    compute_dense_prefixes_tree,
     dense_prefixes,
     dense_prefixes_fixed,
     densify,
     density_threshold,
     profile,
+    widen_dense_prefixes,
 )
 from repro.trie.radix import RadixNode, RadixTree
 from repro.trie.render import render_dense, render_tree
@@ -21,11 +23,13 @@ __all__ = [
     "aguri_aggregate",
     "build_tree",
     "compute_dense_prefixes",
+    "compute_dense_prefixes_tree",
     "dense_prefixes",
     "dense_prefixes_fixed",
     "densify",
     "density_threshold",
     "profile",
+    "widen_dense_prefixes",
     "render_dense",
     "render_tree",
 ]

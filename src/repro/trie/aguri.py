@@ -20,7 +20,9 @@ step 3"), which needs no tree at all.
 
 from __future__ import annotations
 
+import decimal
 from collections import Counter
+from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net import addr
@@ -101,10 +103,66 @@ def dense_prefixes(
     return results
 
 
+def widen_dense_prefixes(
+    found: Iterable[Tuple[int, int, int]], p: int
+) -> List[Tuple[int, int, int]]:
+    """Widen reported prefixes longer than ``p`` to exactly /p and merge.
+
+    Prefixes longer than ``p`` are truncated to /p, and clusters landing
+    on the same /p have their counts summed.  Prefixes already shorter
+    than (or equal to) ``p`` are kept as-is — and because widening only
+    *shortens* lengths down to ``p``, a widened /p can come to sit inside
+    a kept shorter prefix when the input list contains nested prefixes
+    (e.g. tree reports built with :meth:`RadixTree.add_prefix`, or dense
+    lists merged across days).  Such nested entries are dropped after
+    widening: a containing prefix's count already includes the addresses
+    of everything below it, so keeping both would double-count.  The
+    result is guaranteed non-overlapping whenever containing prefixes
+    carry subtree-total counts (as all densify reports do).
+    """
+    check_length(p)
+    merged: Dict[Tuple[int, int], int] = {}
+    for network, length, count in found:
+        if length > p:
+            network, length = addr.truncate(network, p), p
+        key = (network, length)
+        merged[key] = merged.get(key, 0) + count
+    result: List[Tuple[int, int, int]] = []
+    # Sorted by (network, length), a nested prefix immediately follows a
+    # prefix that contains it or is disjoint from every kept one, so a
+    # single look-back at the last kept entry suffices.
+    for (network, length), count in sorted(merged.items()):
+        if result:
+            kept_network, kept_length, _kept_count = result[-1]
+            if kept_length <= length and addr.truncate(network, kept_length) == kept_network:
+                continue
+        result.append((network, length, count))
+    return result
+
+
+def compute_dense_prefixes_tree(
+    addresses: Iterable[int], n: int, p: int, widen: bool = False
+) -> List[Tuple[int, int, int]]:
+    """Tree-based general densify: build tree, densify, report.
+
+    The reference implementation — one :class:`RadixNode` per address,
+    then the paper's post-order fold.  Kept for verification: the
+    array-native engine (:func:`repro.core.spatial.general_dense_prefixes`)
+    is asserted bit-identical to this path in the tests and in
+    ``benchmarks/bench_spatial.py``.
+    """
+    tree = build_tree(set(addresses))
+    densify(tree, n, p)
+    found = dense_prefixes(tree, n)
+    if not widen:
+        return found
+    return widen_dense_prefixes(found, p)
+
+
 def compute_dense_prefixes(
     addresses: Iterable[int], n: int, p: int, widen: bool = False
 ) -> List[Tuple[int, int, int]]:
-    """End-to-end general densify: build tree, densify, report.
+    """End-to-end general densify of an address set.
 
     Returns the least-specific non-overlapping prefixes meeting density
     ``n / 2**(128 - p)`` that contain at least ``n`` observed addresses,
@@ -113,24 +171,19 @@ def compute_dense_prefixes(
     Dense aggregates form at Patricia branch points, so a cluster whose
     addresses share, say, 125 leading bits reports as a /125 even when the
     requested density class is 2@/112.  With ``widen=True``, any reported
-    prefix longer than ``p`` is widened to exactly /p (merging clusters
-    that share a /p), which is the useful form when generating /p-sized
-    scan targets.
+    prefix longer than ``p`` is widened to exactly /p via
+    :func:`widen_dense_prefixes` (merging clusters that share a /p and
+    deduplicating nested prefixes), which is the useful form when
+    generating /p-sized scan targets.
+
+    Routed through the array-native spatial engine
+    (:func:`repro.core.spatial.general_dense_prefixes`), which computes
+    the identical report from the sorted address columns;
+    :func:`compute_dense_prefixes_tree` remains as the reference.
     """
-    tree = build_tree(set(addresses))
-    densify(tree, n, p)
-    found = dense_prefixes(tree, n)
-    if not widen:
-        return found
-    merged: Dict[Tuple[int, int], int] = {}
-    for network, length, count in found:
-        if length > p:
-            network, length = addr.truncate(network, p), p
-        key = (network, length)
-        merged[key] = merged.get(key, 0) + count
-    return sorted(
-        (network, length, count) for (network, length), count in merged.items()
-    )
+    from repro.core.spatial import general_dense_prefixes
+
+    return general_dense_prefixes(addresses, n, p, widen=widen)
 
 
 def dense_prefixes_fixed(
@@ -189,13 +242,21 @@ def aguri_aggregate(tree: RadixTree, fraction: float) -> None:
     whatever reaches it.  Afterwards, zero-count leaves are pruned and
     pass-through branch nodes compacted, yielding the aguri "profile":
     the prefixes that each account for at least the given share.
+
+    A node whose count equals the threshold exactly is kept: "at least
+    the given share" is a closed bound.  The comparison is made in exact
+    integers — ``fraction`` is read as the decimal it was written as
+    (e.g. ``0.07`` means 7/100) — because the float ``fraction * total``
+    product can land a hair above the true threshold (``0.07 * 100`` is
+    ``7.000000000000001``) and misclassify a boundary count.
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"fraction must be in (0, 1]: {fraction}")
     total = tree.total_count
     if total == 0:
         return
-    threshold = fraction * total
+    ratio = Fraction(decimal.Decimal(repr(float(fraction))))
+    numerator, denominator = ratio.numerator, ratio.denominator
 
     # Post-order walk with explicit parent tracking, pushing small counts up.
     parents: Dict[int, Optional[RadixNode]] = {id(tree.root): None}
@@ -212,7 +273,8 @@ def aguri_aggregate(tree: RadixTree, fraction: float) -> None:
         parent = parents[id(node)]
         if parent is None:
             continue
-        if node.count < threshold:
+        # count < fraction * total, evaluated exactly over integers.
+        if node.count * denominator < numerator * total:
             parent.count += node.count
             node.count = 0
 

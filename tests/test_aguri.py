@@ -183,3 +183,89 @@ class TestAguriAggregate:
         tree = build_tree([])
         aguri_aggregate(tree, 0.5)
         assert tree.total_count == 0
+
+
+class TestWidenDedup:
+    """Regression: widen=True could emit overlapping prefixes.
+
+    A reported prefix longer than p is widened to /p, but a dense prefix
+    already shorter than p is kept as-is — so a widened /p could come to
+    sit nested inside a kept shorter prefix, double-counting its
+    addresses.  Nested entries are now dropped after widening.
+    """
+
+    def test_nested_after_widening_dropped(self):
+        from repro.trie import widen_dense_prefixes
+
+        container = (p("2001:db8::"), 104, 512)  # subtree total: includes below
+        nested = (p("2001:db8::be00"), 120, 2)  # widens to /112 inside the /104
+        result = widen_dense_prefixes([container, nested], 112)
+        assert result == [container]
+
+    def test_widened_prefixes_never_overlap(self):
+        import random
+
+        from repro.net.addr import ADDRESS_BITS
+        from repro.trie import widen_dense_prefixes
+
+        rng = random.Random(11)
+        for _ in range(50):
+            found = []
+            base = rng.getrandbits(128)
+            for _ in range(rng.randint(1, 8)):
+                length = rng.choice([96, 104, 108, 112, 116, 120, 124])
+                network = addr.truncate(
+                    base ^ rng.getrandbits(32), length
+                )
+                found.append((network, length, rng.randint(1, 100)))
+            result = widen_dense_prefixes(sorted(set(found)), 112)
+            spans = sorted(
+                (network, network | ((1 << (ADDRESS_BITS - length)) - 1))
+                for network, length, _count in result
+            )
+            for (_, first_end), (second_start, _) in zip(spans, spans[1:]):
+                assert first_end < second_start
+
+    def test_disjoint_prefixes_kept(self):
+        from repro.trie import widen_dense_prefixes
+
+        disjoint = [(p("2001:db8::"), 112, 5), (p("2a00::"), 104, 9)]
+        assert widen_dense_prefixes(disjoint, 112) == disjoint
+
+    def test_same_slash_p_merged(self):
+        from repro.trie import widen_dense_prefixes
+
+        result = widen_dense_prefixes(
+            [(p("2001:db8::1000"), 120, 2), (p("2001:db8::2000"), 120, 3)], 112
+        )
+        assert result == [(p("2001:db8::"), 112, 5)]
+
+
+class TestAguriBoundary:
+    """Regression: the float fraction*total threshold misclassified exact
+    boundary counts (0.07 * 100 == 7.000000000000001), pushing up a node
+    that holds exactly the required share."""
+
+    def test_exact_share_kept(self):
+        heavy = [p("2001:db8::1")] * 7
+        light = [p("2a00::") + (i << 64) for i in range(93)]
+        tree = build_tree(heavy + light)
+        aguri_aggregate(tree, 0.07)
+        survivors = {str(prefix): count for prefix, count in profile(tree)}
+        assert survivors.get("2001:db8::1/128") == 7
+
+    def test_one_below_share_pushed_up(self):
+        heavy = [p("2001:db8::1")] * 6
+        light = [p("2a00::") + (i << 64) for i in range(94)]
+        tree = build_tree(heavy + light)
+        aguri_aggregate(tree, 0.07)
+        survivors = {str(prefix): count for prefix, count in profile(tree)}
+        assert "2001:db8::1/128" not in survivors
+
+    def test_tenth_of_ten(self):
+        # fraction=0.1, total=10, count=1: exactly the share, kept.
+        values = [p("2001:db8::1")] + [p("2a00::") + (i << 64) for i in range(9)]
+        tree = build_tree(values)
+        aguri_aggregate(tree, 0.1)
+        survivors = {str(prefix): count for prefix, count in profile(tree)}
+        assert survivors.get("2001:db8::1/128") == 1

@@ -115,3 +115,41 @@ class TestTargets:
         result = find_dense([p("2001:db8::1"), p("2001:db8::4")], DensityClass(2, 112))
         targets = scan_targets(result, limit=100)
         assert len(targets) == 100
+
+
+class TestDuplicateInput:
+    """Regression: find_dense counted raw array rows, not distinct
+    addresses — a duplicated address could push a prefix over the n
+    threshold and inflate contained_addresses / address_density."""
+
+    def test_duplicates_do_not_reach_threshold(self):
+        import numpy as np
+
+        from repro.data import store as obstore
+
+        single = obstore.to_array([p("2001:db8::1")])
+        repeated = np.concatenate([single, single, single])
+        result = find_dense(repeated, DensityClass(2, 112))
+        assert result.num_prefixes == 0
+        assert result.contained_addresses == 0
+
+    def test_table3_on_store_with_repeats(self):
+        import numpy as np
+
+        from repro.data import store as obstore
+
+        values = [p("2001:db8::") + i for i in range(8)]
+        canonical = obstore.to_array(values)
+        repeated = np.concatenate([canonical, canonical[:4]])
+        clean_rows = table3(canonical)
+        noisy_rows = table3(repeated)
+        for clean, noisy in zip(clean_rows, noisy_rows):
+            assert noisy.prefixes == clean.prefixes
+            assert noisy.contained_addresses == clean.contained_addresses
+            assert noisy.address_density == clean.address_density
+
+    def test_iterable_input_already_deduplicated(self):
+        values = [p("2001:db8::1")] * 5 + [p("2001:db8::2")]
+        result = find_dense(values, DensityClass(2, 112))
+        assert result.num_prefixes == 1
+        assert result.contained_addresses == 2

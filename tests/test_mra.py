@@ -200,3 +200,32 @@ class TestRatioProductExactness:
     def test_empty_set_product_zero(self):
         prof = profile([])
         assert prof.ratio_product(16) == 0.0
+
+
+class TestCanonicalGuard:
+    """Regression: structured-array input used to bypass canonicalization.
+
+    `_as_address_array` passed any ADDRESS_DTYPE ndarray straight through,
+    but the adjacent-pair scan is only meaningful on sorted, deduplicated
+    input — an unsorted array silently returned wrong aggregate counts.
+    """
+
+    def test_shuffled_array_matches_sorted(self):
+        rng = np.random.default_rng(17)
+        values = [p("2001:db8::") + int(v) for v in rng.integers(0, 1 << 40, 400)]
+        canonical = obstore.to_array(values)
+        shuffled = canonical[rng.permutation(canonical.shape[0])]
+        assert not np.array_equal(shuffled, canonical)
+        assert aggregate_counts(shuffled).tolist() == aggregate_counts(canonical).tolist()
+
+    def test_duplicated_array_counts_distinct(self):
+        canonical = obstore.to_array([1, 2, 3])
+        repeated = np.concatenate([canonical, canonical])
+        counts = aggregate_counts(repeated)
+        assert counts[128] == 3
+
+    def test_canonical_array_not_copied(self):
+        from repro.core.mra import _as_address_array
+
+        canonical = obstore.to_array([5, 6, 7])
+        assert _as_address_array(canonical) is canonical

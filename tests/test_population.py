@@ -95,3 +95,31 @@ class TestFigure3:
         # Most /48 aggregates are tiny; only a small share holds >= 100.
         assert addrs48.proportion_at_least(100) < 0.2
         assert addrs48.proportion_at_least(1) == 1.0
+
+
+class TestCanonicalInput:
+    """Populations count distinct addresses even when the input array
+    repeats rows or arrives unsorted (routed through the canonical
+    guard shared with the MRA and density layers)."""
+
+    def test_duplicates_not_double_counted(self):
+        from repro.data import store as obstore
+
+        canonical = obstore.to_array([p("2001:db8::") + i for i in range(5)])
+        repeated = np.concatenate([canonical, canonical])
+        assert aggregate_populations(repeated, 48).tolist() == [5]
+
+    def test_unsorted_array_matches_sorted(self):
+        from repro.data import store as obstore
+
+        rng = np.random.default_rng(23)
+        canonical = obstore.to_array(
+            [p("2001:db8::") + int(v) for v in rng.integers(0, 1 << 30, 200)]
+        )
+        shuffled = canonical[rng.permutation(canonical.shape[0])]
+        expected = sorted(aggregate_populations(canonical, 112).tolist())
+        assert sorted(aggregate_populations(shuffled, 112).tolist()) == expected
+
+    def test_populations_in_network_order(self):
+        values = [p("2a00::1"), p("2001:db8::1"), p("2001:db8::2")]
+        assert aggregate_populations(values, 32).tolist() == [2, 1]
