@@ -53,7 +53,7 @@ def percent(fraction: float) -> str:
     # Trim to three significant figures and drop the leading zero.
     if value > 0:
         digits = 0
-        out = []
+        out: List[str] = []
         seen_nonzero = False
         for char in text:
             out.append(char)

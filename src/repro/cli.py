@@ -28,7 +28,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.analysis.tables import count_with_share, percent, render_table, si_count
 import importlib
@@ -64,7 +64,9 @@ def _load_store(args: argparse.Namespace) -> obstore.ObservationStore:
     )
 
 
-def _pipe_safe(tool):
+def _pipe_safe(
+    tool: Callable[[Optional[Sequence[str]]], int]
+) -> Callable[[Optional[Sequence[str]]], int]:
     """Make a CLI entry point exit cleanly when its stdout pipe closes.
 
     ``repro-census ... | head`` should not traceback: a closed pipe is
@@ -228,7 +230,7 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
         jobs=args.jobs,
         chunk_days=args.chunk_days,
     )
-    rows = []
+    rows: List[List[str]] = []
     total_active = 0
     total_stable = 0
     for result in results:
@@ -366,7 +368,7 @@ def main_spatial(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     specs = args.density if args.density else ["2@/112", "2@/120"]
-    classes = []
+    classes: List[Any] = []
     for spec in specs:
         try:
             n_text, _, p_text = spec.partition("@/")
@@ -380,7 +382,7 @@ def main_spatial(argv: Optional[Sequence[str]] = None) -> int:
     header = ["day", "addrs", "/64s"] + [
         f"{cls.label} pfx (addrs)" for cls in classes
     ]
-    rows = []
+    rows: List[List[str]] = []
     for result in results:
         sixty_fours = int(result.mra_counts[64]) if result.mra_counts is not None else 0
         row = [str(result.day), si_count(result.total), si_count(sixty_fours)]

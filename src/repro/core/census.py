@@ -138,12 +138,13 @@ def census(
 
     Accepts a structured address array or an iterable of integer
     addresses; distinct addresses are what get counted, as in the paper's
-    aggregated logs.
+    aggregated logs.  Input is canonicalized (sorted, deduplicated) —
+    trusting arbitrary structured-array input previously counted
+    duplicated addresses twice in every Table 1 column.
     """
-    if isinstance(addresses, np.ndarray) and addresses.dtype == obstore.ADDRESS_DTYPE:
-        array = addresses
-    else:
-        array = obstore.to_array(addresses)
+    from repro.core.mra import _as_address_array
+
+    array = _as_address_array(addresses)
     total = int(array.shape[0])
 
     teredo_mask, sixto4_mask, isatap_mask = transition_masks(array)

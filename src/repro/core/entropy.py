@@ -86,13 +86,13 @@ def render_profile(profile: EntropyProfile, title: str = "") -> str:
         nybble entropy (0..4 bits):  ....#### ######## ........ ........
     """
     glyphs = ".:-=+*%#"
-    cells = []
+    cells: List[str] = []
     for index in range(32):
         level = min(len(glyphs) - 1, int(profile.entropies[index] / 4.0 * len(glyphs)))
         cells.append(glyphs[level])
         if index % 8 == 7 and index != 31:
             cells.append(" ")
-    lines = []
+    lines: List[str] = []
     if title:
         lines.append(title)
     lines.append("nybble entropy (. = 0 bits, # = 4 bits), MSB first:")

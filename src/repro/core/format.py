@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.net import addr, mac, special
 
@@ -223,7 +223,7 @@ def count_eui64(addresses: Iterable[int]) -> Tuple[int, int]:
     EUI-64 rows of Table 1.
     """
     count = 0
-    macs = set()
+    macs: Set[int] = set()
     for value in addresses:
         embedded = mac.eui64_mac_or_none(value & addr.IID_MASK)
         if embedded is not None:

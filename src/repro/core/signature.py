@@ -195,7 +195,7 @@ def classify_groups(
     groups: Iterable[Tuple[object, ArrayOrAddresses]],
 ) -> List[Tuple[object, PrefixClass, SignatureFeatures]]:
     """Classify many (key, addresses) groups, e.g. one per BGP prefix."""
-    results = []
+    results: List[Tuple[object, PrefixClass, SignatureFeatures]] = []
     for key, addresses in groups:
         prefix_class, features = classify_addresses(addresses)
         results.append((key, prefix_class, features))

@@ -345,11 +345,13 @@ def _cull_other(array: np.ndarray) -> np.ndarray:
     return array[other_mask(array)]
 
 
-def _sweep_day_task(task):
+def _sweep_day_task(
+    task: Tuple[Sequence[int], Sequence[object], bool, bool, bool]
+) -> List[SpatialDayResult]:
     """Pool worker: profile one batch of days against the inherited store."""
     days, classes, mra, keep_prefixes, cull = task
     store = _WORKER_STORE[0]
-    results = []
+    results: List[SpatialDayResult] = []
     for day in days:
         array = store.array(day)
         if cull:
@@ -409,7 +411,7 @@ def sweep_spatial(
         finally:
             _WORKER_STORE.clear()
         return [result for batch_results in outputs for result in batch_results]
-    results = []
+    results: List[SpatialDayResult] = []
     for day in day_list:
         array = observations.array(day)
         if cull:

@@ -134,8 +134,7 @@ def longest_stable_prefixes(
             fresh = stable[keep]
         else:
             fresh = stable
-        for hi, lo in zip(fresh["hi"], fresh["lo"]):
-            results.append(((int(hi) << 64) | int(lo), length))
+        results.extend((value, length) for value in obstore.from_array(fresh))
         claimed = obstore.union(claimed, fresh)
         claimed_length = length
 

@@ -106,7 +106,10 @@ class _SortedWindow:
         self.key = self.gid * self.scale + (sday - self.offset)
 
     def extremes(
-        self, positions: np.ndarray, low, high
+        self,
+        positions: np.ndarray,
+        low: "np.ndarray | int",
+        high: "np.ndarray | int",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """First and last observation day, within ``[low, high]``, of the
         address at each queried (sorted-order) position.
@@ -234,7 +237,9 @@ def _sweep_chunk(
 _WORKER_STORES: Dict[int, ObservationStore] = {}
 
 
-def _worker_sweep(task):
+def _worker_sweep(
+    task: Tuple[int, Sequence[int], int, int]
+) -> Tuple[int, List[Tuple[int, np.ndarray]]]:
     """Pool worker: run one (store key, chunk) task against the inherited
     stores."""
     key, ref_days, window_before, window_after = task

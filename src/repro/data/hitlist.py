@@ -17,7 +17,7 @@ from __future__ import annotations
 import gzip
 import io
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.data.store import ObservationStore
 from repro.net import addr
@@ -59,7 +59,7 @@ def read_hitlist(path: str, strict: bool = False) -> HitlistReport:
     collected in the report and skipped.
     """
     report = HitlistReport()
-    seen = set()
+    seen: Set[int] = set()
     with _open_maybe_gzip(path) as handle:
         for line_number, raw in enumerate(handle, start=1):
             report.total_lines += 1

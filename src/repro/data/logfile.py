@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -167,7 +167,7 @@ def read_daily_log(path: str) -> Tuple[Optional[int], List[Tuple[int, int]]]:
             except addr.AddressError as exc:
                 raise _error(path, line_number, str(exc)) from exc
         raise  # pragma: no cover - batch/scalar disagreement
-    merged: dict = {}
+    merged: Dict[int, int] = {}
     for value, hits in zip(values, hit_values):
         merged[value] = merged.get(value, 0) + hits
     return day, list(merged.items())

@@ -303,7 +303,7 @@ class ObservationStore:
 
     def save(self, path: str) -> None:
         """Persist the store to an ``.npz`` file."""
-        payload = {}
+        payload: Dict[str, np.ndarray] = {}
         for day, observations in self._days.items():
             payload[f"hi_{day}"] = observations.addresses["hi"]
             payload[f"lo_{day}"] = observations.addresses["lo"]

@@ -1,0 +1,46 @@
+"""repro-lint: codebase-invariant static analysis for the array engines.
+
+The array-native engines (:mod:`repro.core.sweep`, :mod:`repro.core.spatial`,
+the ingestion pipeline) rest on invariants the paper's methods silently
+assume — canonically sorted/deduplicated ``(hi, lo)`` address arrays,
+exact-integer density thresholds, fork-safe ``jobs=N`` fan-out, unsigned
+64-bit column arithmetic.  Each invariant in this package's rule set was
+violated at least once in this repository's history and patched
+reactively; the linter turns those implicit invariants into explicit,
+machine-checked rules so refactors cannot silently reintroduce the bug
+classes already fixed.
+
+Rules (see ``repro-lint --explain RXXX`` or DESIGN.md for the history):
+
+* **R001** — float-arithmetic threshold comparisons against integer
+  counts (the aguri ``0.07 * 100 == 7.000000000000001`` bug class).
+* **R002** — per-element Python loops over structured address arrays in
+  ``core/`` hot paths (the pattern the sweep/spatial engines eliminated).
+* **R003** — public ``core/`` functions that accept address arrays but
+  bypass the ``_as_address_array`` canonical guard.
+* **R004** — unseeded ``random`` / ``numpy.random`` use in ``sim/``.
+* **R005** — fork-unsafety: threads, locks, or open mmap/file handles
+  created before a fork-based ``jobs=`` fan-out.
+* **R006** — dtype discipline: bare Python int literals mixed into
+  ``hi``/``lo`` uint64 column arithmetic.
+
+Suppress a finding with ``# repro-lint: ignore[RXXX]`` on the flagged
+line (or a bare ``# repro-lint: ignore`` to suppress every rule there).
+"""
+
+from repro.lint.engine import (
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import RULES, get_rule
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

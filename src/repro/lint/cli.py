@@ -1,0 +1,114 @@
+"""``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint [PATHS...]          # lint (default: src/), exit 1 on findings
+    repro-lint --explain R001      # print a rule's rationale and history
+    repro-lint --list              # one-line summary of every rule
+    repro-lint --github PATHS...   # also emit GitHub Actions annotations
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import RULES, get_rule
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if os.path.isdir("src") else ["."]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-lint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Codebase-invariant static analysis for the repro array "
+            "engines: each rule guards an invariant whose violation "
+            "already caused a real bug here once."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RXXX",
+        help="print the rule's rationale and the historical bug it guards against",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_rules",
+        help="list every rule with a one-line summary",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit GitHub Actions ::error annotations alongside plain output",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # ``repro-lint --explain R005 | head`` should not traceback: a
+        # closed pipe is the downstream consumer saying "enough".
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _run(argv: Optional[List[str]]) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.explain:
+        try:
+            rule = get_rule(args.explain)
+        except KeyError:
+            known = ", ".join(r.rule_id for r in RULES)
+            print(
+                f"unknown rule {args.explain!r}; known rules: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{rule.rule_id}: {rule.title}")
+        print()
+        print(rule.rationale.rstrip())
+        return 0
+
+    if args.list_rules:
+        for rule in RULES:
+            scope = "/".join(rule.scope) + "/ only" if rule.scope else "all files"
+            print(f"{rule.rule_id}  {rule.title}  [{scope}]")
+        return 0
+
+    findings = lint_paths(args.paths or _default_paths())
+    for finding in findings:
+        print(finding.format())
+        if args.github:
+            print(finding.format_github())
+    if findings:
+        print(
+            f"repro-lint: {len(findings)} finding(s); "
+            "run `repro-lint --explain RXXX` for the rationale",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""repro-lint engine: file walking, suppression handling, rule dispatch.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only): it
+parses each file once, asks every applicable rule for raw findings, then
+filters findings suppressed by ``# repro-lint: ignore[...]`` comments.
+
+Suppression grammar::
+
+    x = addresses  # repro-lint: ignore[R003]          one rule
+    x = addresses  # repro-lint: ignore[R003,R006]     several rules
+    x = addresses  # repro-lint: ignore                every rule
+
+The comment suppresses findings reported on its own line; a line that
+consists *only* of a suppression comment suppresses the line below it
+(useful before multi-line statements).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+from repro.lint.rules import RULES, Rule
+
+#: Sentinel suppression set meaning "every rule".
+_ALL_RULES: FrozenSet[str] = frozenset(rule.rule_id for rule in RULES)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, ready for CI annotation."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RXXX message`` — the canonical output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def format_github(self) -> str:
+        """GitHub Actions workflow-command annotation form."""
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title=repro-lint {self.rule_id}::{self.message}"
+        )
+
+
+def _suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        rules = (
+            _ALL_RULES
+            if ids is None
+            else frozenset(part.strip().upper() for part in ids.split(",") if part.strip())
+        )
+        suppressed[number] = suppressed.get(number, frozenset()) | rules
+        # A line that is only a suppression comment covers the next line.
+        if text.strip().startswith("#"):
+            suppressed[number + 1] = suppressed.get(number + 1, frozenset()) | rules
+    return suppressed
+
+
+def _path_parts(path: str) -> Sequence[str]:
+    return PurePosixPath(path.replace(os.sep, "/")).parts
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; ``path`` drives rule scoping."""
+    active = RULES if rules is None else tuple(rules)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="E000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    parts = _path_parts(path)
+    suppressed = _suppressions(source)
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(parts):
+            continue
+        for raw in rule.check(tree):
+            if rule.rule_id in suppressed.get(raw.line, frozenset()):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=raw.line,
+                    col=raw.col,
+                    rule_id=rule.rule_id,
+                    message=raw.message,
+                )
+            )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, rules=rules)
+
+
+def _python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for root, dirs, names in os.walk(path):
+        dirs[:] = sorted(d for d in dirs if not d.startswith("."))
+        for name in sorted(names):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)
+
+
+def lint_paths(
+    paths: Iterable[Union[str, "os.PathLike[str]"]],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every Python file under the given files/directories."""
+    findings: List[Finding] = []
+    for path in paths:
+        for file_path in _python_files(os.fspath(path)):
+            findings.extend(lint_file(file_path, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

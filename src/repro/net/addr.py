@@ -103,7 +103,7 @@ def parse(text: str) -> int:
             left_part, _, right_part = text.partition("::")
         else:
             left_part, right_part = text, ""
-        groups_text = []
+        groups_text: List[str] = []
 
     def split_groups(part: str) -> List[str]:
         if not part:

@@ -413,7 +413,7 @@ class DynamicPoolPlan(AddressingPlan):
 
     def daily_addresses(self, device: Device, day: int) -> List[Tuple[int, GroundTruth]]:
         policy = self.iid_policy(device)
-        results = []
+        results: List[Tuple[int, GroundTruth]] = []
         for association in range(self.associations(device.subscriber_id, day)):
             high = self.network_identifier(device.subscriber_id, day, association)
             low = policy.iid(self.seed, self.name, device, day)

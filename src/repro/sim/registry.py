@@ -17,6 +17,7 @@ The registry is the ground truth the per-ASN figures (5a, 5b) group by.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -121,7 +122,9 @@ class AddressRegistry:
         self._spans_dirty = True
         return allocation
 
-    def _carve(self, block: RirBlock, length: int, stream) -> Prefix:
+    def _carve(
+        self, block: RirBlock, length: int, stream: "random.Random"
+    ) -> Prefix:
         """Take the next length-``length`` block from an RIR super-block."""
         unit = 1 << (128 - length)
         base = block.prefix.network

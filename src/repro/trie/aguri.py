@@ -199,7 +199,7 @@ def dense_prefixes_fixed(
     if n < 1:
         raise ValueError(f"n must be >= 1: {n}")
     check_length(p)
-    counts: Counter = Counter()
+    counts: Counter[int] = Counter()
     for value in set(addresses):
         counts[addr.truncate(value, p)] += 1
     return sorted(

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.mra import MraProfile
+from repro.core.mra import ArrayOrAddresses, MraProfile
 from repro.viz.ascii import AsciiChart
 
 
@@ -64,7 +64,7 @@ class MraPlot:
         by16 = dict(self.profile.series(16))
         by4 = dict(self.profile.series(4))
         by1 = dict(self.profile.series(1))
-        rows = []
+        rows: List[Tuple[int, float, float, float]] = []
         for p in range(0, 128, 4):
             rows.append(
                 (
@@ -124,7 +124,7 @@ class MraPlot:
         return 128
 
 
-def mra_plot(addresses, title: str = "") -> MraPlot:
+def mra_plot(addresses: ArrayOrAddresses, title: str = "") -> MraPlot:
     """Convenience constructor from any address collection."""
     from repro.core.mra import profile as mra_profile
 

@@ -101,3 +101,38 @@ class TestStoreHelpers:
         kept = cull_other(SAMPLE)
         assert len(kept) == 3
         assert all(transition_kind(v) is TransitionKind.OTHER for v in kept)
+
+
+class TestCanonicalizesArrayInput:
+    """Regression: census() must canonicalize structured-array input.
+
+    It previously trusted any ndarray with ADDRESS_DTYPE verbatim, so a
+    duplicated or unsorted array inflated every Table 1 count (found by
+    repro-lint rule R003).
+    """
+
+    def test_duplicated_array_counts_distinct_addresses(self):
+        import numpy as np
+
+        from repro.data import store as obstore
+
+        once = obstore.to_array(SAMPLE)
+        doubled = np.concatenate([once, once])
+        assert doubled.dtype == obstore.ADDRESS_DTYPE
+        row = census(doubled)
+        assert row.total == len(SAMPLE)
+        assert row.other == 3
+        assert row.other_64s == 2
+
+    def test_unsorted_array_matches_sorted(self):
+        import numpy as np
+
+        from repro.data import store as obstore
+
+        array = obstore.to_array(SAMPLE)
+        shuffled = array[::-1].copy()
+        assert not np.array_equal(shuffled, array)
+        row = census(shuffled)
+        baseline = census(array)
+        assert row.total == baseline.total
+        assert row.eui64_distinct_macs == baseline.eui64_distinct_macs
