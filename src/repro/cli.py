@@ -17,10 +17,20 @@ files (``address hits`` lines; see :mod:`repro.data.logfile`):
 * ``repro-spatial LOG...`` — spatial profile of *every* day via the
   array-native spatial engine (``--jobs`` parallelism, ``--cull`` to
   scope to native addresses, repeatable ``--density`` classes).
+* ``repro-faultcheck`` — deterministic fault-injection gauntlet: inject
+  every modeled failure (corrupt lines, truncated cache, dropped days,
+  killed workers, mid-sweep SIGKILL) and verify the pipeline classifies,
+  retries, or resumes each one.
 
 Every tool accepts ``--simulate SCALE`` instead of log files to run
 against freshly generated simulator data, so the CLI is usable with zero
-inputs.
+inputs; ``--errors quarantine`` switches ingestion from fail-fast to
+bounded, reported quarantine of malformed inputs.
+
+Exit codes are classified uniformly (see
+:mod:`repro.runtime.exitcodes`): 0 success, 1 findings (repro-lint),
+2 usage, 3 input error, 4 quarantine threshold exceeded, 5 internal
+fault.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import count_with_share, percent, render_table, si_count
 import importlib
@@ -42,6 +52,17 @@ temporal_mod = importlib.import_module("repro.core.temporal")
 sweep_mod = importlib.import_module("repro.core.sweep")
 spatial_mod = importlib.import_module("repro.core.spatial")
 from repro.data import logfile, store as obstore
+from repro.runtime.exitcodes import (
+    EXIT_INTERNAL,
+    EXIT_OK,
+    InputError,
+    classify_exception,
+)
+from repro.runtime.quarantine import (
+    ERRORS_QUARANTINE,
+    ERRORS_STRICT,
+    QuarantineReport,
+)
 from repro.viz.mra_plot import mra_plot
 
 
@@ -56,12 +77,25 @@ def _load_store(args: argparse.Namespace) -> obstore.ObservationStore:
         days = range(EPOCH_2015_03 - 8, EPOCH_2015_03 + 8)
         return internet.build_store(days)
     if not args.logs:
-        raise SystemExit("no log files given (or use --simulate SCALE)")
-    return logfile.load_store(
-        args.logs,
-        jobs=getattr(args, "jobs", None),
-        cache_dir=getattr(args, "cache_dir", None),
-    )
+        raise InputError("no log files given (or use --simulate SCALE)")
+    errors = getattr(args, "errors", ERRORS_STRICT)
+    report: Optional[QuarantineReport] = None
+    if errors == ERRORS_QUARANTINE:
+        report = QuarantineReport()
+    try:
+        store = logfile.load_store(
+            args.logs,
+            jobs=getattr(args, "jobs", None),
+            cache_dir=getattr(args, "cache_dir", None),
+            errors=errors,
+            report=report,
+        )
+    finally:
+        # The quarantine account is part of the result even when the
+        # budget aborts the run: print whatever was diverted.
+        if report is not None and not report.is_empty():
+            print(report.summary(), file=sys.stderr)
+    return store
 
 
 def _pipe_safe(
@@ -81,9 +115,41 @@ def _pipe_safe(
         except BrokenPipeError:
             try:
                 sys.stdout.close()
-            except Exception:
+            except Exception:  # repro-lint: ignore[R007]
                 pass
             return 0
+
+    return wrapper
+
+
+def _classified(
+    tool: Callable[[Optional[Sequence[str]]], int]
+) -> Callable[[Optional[Sequence[str]]], int]:
+    """Map a tool's exceptions to the classified exit codes.
+
+    Input problems exit 3, quarantine budget aborts exit 4, pool/internal
+    faults exit 5 — with a one-line diagnosis on stderr instead of a
+    traceback (set ``REPRO_DEBUG=1`` to see the traceback).  ``SystemExit``
+    (argparse usage errors: 2) and ``BrokenPipeError`` (handled by
+    :func:`_pipe_safe`) pass through untouched.
+    """
+    import functools
+
+    @functools.wraps(tool)
+    def wrapper(argv: Optional[Sequence[str]] = None) -> int:
+        try:
+            return tool(argv)
+        except (SystemExit, BrokenPipeError, KeyboardInterrupt):
+            raise
+        except BaseException as exc:
+            if os.environ.get("REPRO_DEBUG"):
+                raise
+            code = classify_exception(exc)
+            print(
+                f"{tool.__name__.replace('main_', 'repro-')}: error: {exc}",
+                file=sys.stderr,
+            )
+            raise SystemExit(code) from exc
 
     return wrapper
 
@@ -114,9 +180,21 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
             "parsing (default: $REPRO_CACHE_DIR)"
         ),
     )
+    parser.add_argument(
+        "--errors",
+        choices=(ERRORS_STRICT, ERRORS_QUARANTINE),
+        default=ERRORS_STRICT,
+        help=(
+            "strict (default): abort on the first malformed line; "
+            "quarantine: divert malformed lines and unreadable days into "
+            "a reported quarantine, bounded by loss budgets (exit 4 when "
+            "exceeded)"
+        ),
+    )
 
 
 @_pipe_safe
+@_classified
 def main_census(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-census``."""
     parser = argparse.ArgumentParser(
@@ -148,6 +226,7 @@ def main_census(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+@_classified
 def main_stability(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-stability``."""
     parser = argparse.ArgumentParser(
@@ -164,7 +243,7 @@ def main_stability(argv: Optional[Sequence[str]] = None) -> int:
     store = _load_store(args)
     days = store.days()
     if not days:
-        raise SystemExit("store is empty")
+        raise InputError("store is empty")
     reference = args.reference if args.reference is not None else days[len(days) // 2]
     result = temporal_mod.classify_day(store, reference, args.window, args.window)
     stable = result.stable_count(args.n)
@@ -191,6 +270,7 @@ def main_stability(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+@_classified
 def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-sweep``: classify every day in one pass."""
     parser = argparse.ArgumentParser(
@@ -217,10 +297,21 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
         metavar="D",
         help="reference days per sweep chunk (memory/parallelism unit)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist each completed sweep chunk atomically to DIR; a "
+            "killed run re-invoked with the same inputs and flags "
+            "resumes from its last checkpoint, bit-identical to an "
+            "uninterrupted run"
+        ),
+    )
     args = parser.parse_args(argv)
     store = _load_store(args)
     if not 0 <= args.prefix_len <= 128:
-        raise SystemExit(f"bad --prefix-len {args.prefix_len}: not in 0..128")
+        raise InputError(f"bad --prefix-len {args.prefix_len}: not in 0..128")
     if args.prefix_len < 128:
         store = store.truncated(args.prefix_len)
     results = sweep_mod.sweep_days(
@@ -229,6 +320,7 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
         window_after=args.window,
         jobs=args.jobs,
         chunk_days=args.chunk_days,
+        checkpoint_dir=args.checkpoint_dir,
     )
     rows: List[List[str]] = []
     total_active = 0
@@ -265,6 +357,7 @@ def main_sweep(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+@_classified
 def main_mra(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-mra``."""
     parser = argparse.ArgumentParser(
@@ -292,6 +385,7 @@ def main_mra(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+@_classified
 def main_dense(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-dense``."""
     parser = argparse.ArgumentParser(
@@ -316,7 +410,7 @@ def main_dense(argv: Optional[Sequence[str]] = None) -> int:
         n_text, _, p_text = args.density.partition("@/")
         density_class = density_mod.DensityClass(int(n_text), int(p_text))
     except (ValueError, TypeError) as exc:
-        raise SystemExit(f"bad --density {args.density!r}: {exc}") from exc
+        raise InputError(f"bad --density {args.density!r}: {exc}") from exc
     store = _load_store(args)
     union = store.union_over(store.days())
     result = density_mod.find_dense(union, density_class)
@@ -342,6 +436,7 @@ def main_dense(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+@_classified
 def main_spatial(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-spatial``: per-day spatial profiles."""
     parser = argparse.ArgumentParser(
@@ -374,7 +469,7 @@ def main_spatial(argv: Optional[Sequence[str]] = None) -> int:
             n_text, _, p_text = spec.partition("@/")
             classes.append(density_mod.DensityClass(int(n_text), int(p_text)))
         except (ValueError, TypeError) as exc:
-            raise SystemExit(f"bad --density {spec!r}: {exc}") from exc
+            raise InputError(f"bad --density {spec!r}: {exc}") from exc
     store = _load_store(args)
     results = spatial_mod.sweep_spatial(
         store, classes=classes, jobs=args.jobs, cull=args.cull
@@ -404,6 +499,7 @@ def main_spatial(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+@_classified
 def main_stableprefix(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-stableprefix`` (§7.2 plan discovery)."""
     parser = argparse.ArgumentParser(
@@ -439,6 +535,7 @@ def main_stableprefix(argv: Optional[Sequence[str]] = None) -> int:
 
 
 @_pipe_safe
+@_classified
 def main_simulate(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-simulate``: write simulated daily logs."""
     parser = argparse.ArgumentParser(
@@ -470,6 +567,300 @@ def main_simulate(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+#: Sweep parameters shared by the faultcheck kill-and-resume child and
+#: its parent (the checkpoint signature must match across processes).
+_FAULTCHECK_WINDOW = 3
+_FAULTCHECK_CHUNK_DAYS = 3
+
+
+def _faultcheck_logs(directory: str) -> List[str]:
+    """The faultcheck campaign's day logs, in day order."""
+    import glob
+
+    return sorted(
+        glob.glob(os.path.join(directory, "log-*.txt")),
+        key=lambda p: int(os.path.basename(p)[4:-4]),
+    )
+
+
+def _faultcheck_sweep_child(log_dir: str, checkpoint_dir: str) -> int:
+    """Child body for the kill-and-resume scenario: sweep with checkpoints.
+
+    The parent arms ``REPRO_FAULT_KILL_AFTER_CHECKPOINTS`` so this
+    process dies by SIGKILL partway through; a surviving run prints a
+    digest line instead (useful when invoked by hand).
+    """
+    store = logfile.load_store(_faultcheck_logs(log_dir))
+    results = sweep_mod.sweep_days(
+        store,
+        window_before=_FAULTCHECK_WINDOW,
+        window_after=_FAULTCHECK_WINDOW,
+        jobs=2,
+        chunk_days=_FAULTCHECK_CHUNK_DAYS,
+        checkpoint_dir=checkpoint_dir,
+    )
+    print(f"child swept {len(results)} day(s) uninterrupted")
+    return EXIT_OK
+
+
+def _stores_equal(a: obstore.ObservationStore, b: obstore.ObservationStore) -> bool:
+    import numpy as np
+
+    if a.days() != b.days():
+        return False
+    return all(np.array_equal(a.array(day), b.array(day)) for day in a.days())
+
+
+@_pipe_safe
+@_classified
+def main_faultcheck(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-faultcheck``: the fault-injection gauntlet.
+
+    Builds a small deterministic campaign, injects every modeled fault
+    (:mod:`repro.sim.faults`), and verifies each one ends *classified*,
+    *retried*, or *resumed* — never hung, never silently wrong.  Exit 0
+    when every scenario holds, 5 otherwise.
+    """
+    import shutil
+    import subprocess
+    import tempfile
+
+    import numpy as np
+
+    from repro.runtime.checkpoint import KILL_AFTER_CHECKPOINTS_ENV
+    from repro.runtime.pool import RunReport
+    from repro.runtime.quarantine import (
+        QuarantinePolicy,
+        QuarantineThresholdError,
+    )
+    from repro.sim.faults import FAULT_ENV, FaultPlan
+
+    parser = argparse.ArgumentParser(
+        prog="repro-faultcheck",
+        description=(
+            "Deterministic fault-injection gauntlet for the resilience "
+            "layer: corrupt lines, truncated cache entries, dropped "
+            "days, killed workers, and a SIGKILL mid-sweep, each "
+            "verified to end classified, retried, or resumed."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller campaign and fewer workers (CI-friendly)",
+    )
+    parser.add_argument(
+        "--keep",
+        metavar="DIR",
+        default=None,
+        help="run inside DIR and keep its artifacts for inspection",
+    )
+    parser.add_argument(
+        "--child-sweep",
+        nargs=2,
+        metavar=("LOGDIR", "CKDIR"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: kill-and-resume child body
+    )
+    args = parser.parse_args(argv)
+    if args.child_sweep is not None:
+        return _faultcheck_sweep_child(*args.child_sweep)
+
+    from repro.sim import EPOCH_2015_03, InternetConfig, build_internet
+
+    root = args.keep or tempfile.mkdtemp(prefix="repro-faultcheck-")
+    os.makedirs(root, exist_ok=True)
+    scale = 0.01 if args.quick else 0.02
+    n_days = 8 if args.quick else 12
+    jobs = 2 if args.quick else 4
+    plan = FaultPlan(
+        seed=args.seed,
+        corrupt_line_rate=0.05,
+        truncate_cache_rate=0.6,
+        drop_day_rate=0.3,
+        kill_worker_rate=0.9,
+    )
+    internet = build_internet(seed=args.seed, config=InternetConfig(scale=scale))
+    start = EPOCH_2015_03 - n_days // 2
+    store = internet.build_store(range(start, start + n_days))
+    pristine_dir = os.path.join(root, "pristine")
+    logfile.save_store(store, pristine_dir)
+    baseline = logfile.load_store(_faultcheck_logs(pristine_dir))
+    outcomes: List[Tuple[str, bool, str]] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        outcomes.append((name, ok, detail))
+        print(f"{'PASS' if ok else 'FAIL'}  {name}: {detail}")
+
+    # -- scenario 1: corrupt log lines -> classified quarantine ------------
+    dirty_dir = os.path.join(root, "corrupt")
+    shutil.copytree(pristine_dir, dirty_dir, dirs_exist_ok=True)
+    dirty_logs = _faultcheck_logs(dirty_dir)
+    events = plan.corrupt_logs(dirty_logs)
+    strict_raised = False
+    try:
+        logfile.load_store(dirty_logs)
+    except logfile.LogFormatError:
+        strict_raised = True
+    report = QuarantineReport()
+    quarantined = logfile.load_store(
+        dirty_logs,
+        jobs=jobs,
+        errors=ERRORS_QUARANTINE,
+        report=report,
+        policy=QuarantinePolicy(max_line_fraction=0.5, line_grace=0),
+    )
+    accounted = report.total_line_faults == len(events)
+    check(
+        "corrupt-lines",
+        strict_raised and accounted and len(quarantined) == n_days,
+        f"{len(events)} injected, {report.total_line_faults} quarantined, "
+        f"strict {'aborted' if strict_raised else 'DID NOT abort'}",
+    )
+
+    # -- scenario 2: loss over budget -> threshold abort -------------------
+    flood_path = os.path.join(root, "flood.txt")
+    with open(flood_path, "w", encoding="ascii") as handle:
+        handle.write("# repro aggregated log day=0\n")
+        for i in range(50):
+            handle.write(f"2001:db8::{i:x} 1\n")
+        for i in range(20):
+            handle.write(f"not-an-address-{i} 1\n")
+    aborted = False
+    try:
+        logfile.load_store([flood_path], errors=ERRORS_QUARANTINE)
+    except QuarantineThresholdError:
+        aborted = True
+    check(
+        "loss-over-budget",
+        aborted,
+        "20/70 bad lines " + ("tripped the budget" if aborted else "went unnoticed"),
+    )
+
+    # -- scenario 3: truncated cache entries -> rebuilt, identical ---------
+    cache_dir = os.path.join(root, "cache")
+    cached = logfile.load_store(_faultcheck_logs(pristine_dir), cache_dir=cache_dir)
+    truncated = plan.truncate_cache(cache_dir)
+    rebuilt = logfile.load_store(_faultcheck_logs(pristine_dir), cache_dir=cache_dir)
+    check(
+        "cache-truncation",
+        bool(truncated)
+        and _stores_equal(cached, baseline)
+        and _stores_equal(rebuilt, baseline),
+        f"{len(truncated)} entr{'y' if len(truncated) == 1 else 'ies'} "
+        "truncated, reload bit-identical",
+    )
+
+    # -- scenario 4: dropped days -> explicit gaps -------------------------
+    drop_dir = os.path.join(root, "dropped")
+    shutil.copytree(pristine_dir, drop_dir, dirs_exist_ok=True)
+    drop_logs = _faultcheck_logs(drop_dir)
+    drops = plan.drop_days(drop_logs)
+    drop_report = QuarantineReport()
+    gapped = logfile.load_store(
+        drop_logs,
+        errors=ERRORS_QUARANTINE,
+        report=drop_report,
+        policy=QuarantinePolicy(max_day_fraction=1.0),
+    )
+    plan.restore_days(drops)
+    check(
+        "dropped-days",
+        bool(drops)
+        and drop_report.total_day_faults == len(drops)
+        and len(gapped) == n_days - len(drops),
+        f"{len(drops)} day(s) dropped, {drop_report.total_day_faults} "
+        f"classified as gaps, {len(gapped)} day(s) loaded",
+    )
+
+    # -- scenario 5: killed workers -> retried, identical ------------------
+    sink: List[RunReport] = []
+    previous = os.environ.get(FAULT_ENV)
+    os.environ.update(plan.worker_env())
+    try:
+        survived = logfile.load_store(
+            _faultcheck_logs(pristine_dir), jobs=jobs, report_sink=sink
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_ENV, None)
+        else:
+            os.environ[FAULT_ENV] = previous
+    pool_report = sink[0] if sink else RunReport(label="load-store", tasks=0)
+    recovered = pool_report.crashes > 0 and _stores_equal(survived, baseline)
+    check(
+        "killed-workers",
+        recovered,
+        pool_report.summary() + ", result bit-identical",
+    )
+
+    # -- scenario 6: SIGKILL mid-sweep -> checkpoint resume ----------------
+    ck_dir = os.path.join(root, "checkpoints")
+    env = dict(os.environ)
+    env[KILL_AFTER_CHECKPOINTS_ENV] = "1"
+    env.pop(FAULT_ENV, None)
+    child = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "faultcheck",
+            "--child-sweep",
+            pristine_dir,
+            ck_dir,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    partial = (
+        len([n for n in os.listdir(ck_dir) if n.endswith(".npz")])
+        if os.path.isdir(ck_dir)
+        else 0
+    )
+    resumed = sweep_mod.sweep_days(
+        baseline,
+        window_before=_FAULTCHECK_WINDOW,
+        window_after=_FAULTCHECK_WINDOW,
+        jobs=2,
+        chunk_days=_FAULTCHECK_CHUNK_DAYS,
+        checkpoint_dir=ck_dir,
+    )
+    uninterrupted = sweep_mod.sweep_days(
+        baseline,
+        window_before=_FAULTCHECK_WINDOW,
+        window_after=_FAULTCHECK_WINDOW,
+        chunk_days=_FAULTCHECK_CHUNK_DAYS,
+    )
+    identical = len(resumed) == len(uninterrupted) and all(
+        np.array_equal(a.active, b.active) and np.array_equal(a.gaps, b.gaps)
+        for a, b in zip(resumed, uninterrupted)
+    )
+    check(
+        "kill-and-resume",
+        child.returncode != 0 and partial >= 1 and identical,
+        f"child exit {child.returncode}, {partial} chunk(s) checkpointed "
+        "before the kill, resumed sweep bit-identical",
+    )
+
+    failures = [name for name, ok, _detail in outcomes if not ok]
+    print()
+    if failures:
+        print(f"repro-faultcheck: {len(failures)} scenario(s) FAILED: "
+              + ", ".join(failures))
+        return EXIT_INTERNAL
+    where = f", artifacts kept in {root}" if args.keep else ""
+    print(
+        f"repro-faultcheck: all {len(outcomes)} scenario(s) passed "
+        f"(seed {args.seed}{where})"
+    )
+    if args.keep is None:
+        shutil.rmtree(root, ignore_errors=True)
+    return EXIT_OK
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Dispatch ``python -m repro.cli <tool> ...``."""
     tools = {
@@ -481,6 +872,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "spatial": main_spatial,
         "stableprefix": main_stableprefix,
         "simulate": main_simulate,
+        "faultcheck": main_faultcheck,
     }
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in tools:

@@ -35,7 +35,6 @@ as in the paper's Section 6 results.
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -50,6 +49,7 @@ from repro.core.mra import (
 from repro.data.store import ObservationStore
 from repro.net import addr
 from repro.net.prefix import check_length
+from repro.runtime.pool import PoolConfig, RunReport, run_supervised
 from repro.trie.aguri import density_threshold, widen_dense_prefixes
 
 #: Counts are array sizes, far below 2**62; thresholds above this cap can
@@ -372,14 +372,19 @@ def sweep_spatial(
     mra: bool = True,
     keep_prefixes: bool = False,
     cull: bool = False,
+    report_sink: "Optional[List[RunReport]]" = None,
 ) -> List[SpatialDayResult]:
     """Spatial profile of every requested day of a store.
 
     The spatial mirror of :func:`repro.core.sweep.sweep_days`: one
     :class:`SpatialDayResult` per day, with ``jobs`` fanning day batches
-    out over fork-based worker processes (``0`` = all CPUs, ``None``/``1``
-    = serial); results are independent of ``jobs``.  ``classes`` defaults
-    to the twelve Table 3 classes.  With ``cull=True`` each day is first
+    out over supervised fork-based worker processes
+    (:func:`repro.runtime.pool.run_supervised` — ``0`` = all CPUs,
+    ``None``/``1`` = serial; crashed or wedged workers are retried, then
+    re-run serially); results are independent of ``jobs``.
+    ``report_sink`` receives the pool's
+    :class:`repro.runtime.pool.RunReport`.  ``classes`` defaults to the
+    twelve Table 3 classes.  With ``cull=True`` each day is first
     reduced to its native "Other" subset (the paper's §4.1 hand-off from
     the census to the classifiers).  Days absent from the store yield
     empty profiles.
@@ -396,7 +401,7 @@ def sweep_spatial(
     if not day_list:
         return []
     workers = min(_resolve_jobs(jobs), len(day_list))
-    if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+    if workers > 1:
         batches = [list(batch) for batch in np.array_split(day_list, workers * 4)]
         tasks = [
             (batch, tuple(classes), mra, keep_prefixes, cull)
@@ -405,11 +410,15 @@ def sweep_spatial(
         ]
         _WORKER_STORE[0] = observations
         try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(workers) as pool:
-                outputs = pool.map(_sweep_day_task, tasks)
+            outputs, report = run_supervised(
+                _sweep_day_task,
+                tasks,
+                PoolConfig(jobs=workers, label="spatial-sweep"),
+            )
         finally:
             _WORKER_STORE.clear()
+        if report_sink is not None:
+            report_sink.append(report)
         return [result for batch_results in outputs for result in batch_results]
     results: List[SpatialDayResult] = []
     for day in day_list:

@@ -45,8 +45,6 @@ day can be classified without rebuilding a store.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -58,6 +56,8 @@ from repro.core.temporal import (
     StabilityResult,
 )
 from repro.data.store import ADDRESS_DTYPE, ObservationStore
+from repro.runtime.checkpoint import SweepCheckpoint, sweep_signature
+from repro.runtime.pool import PoolConfig, RunReport, resolve_jobs, run_supervised
 
 #: Reference days per chunk: bounds peak memory (a chunk loads
 #: ``chunk + before + after`` day arrays) and is the unit of parallelism.
@@ -248,13 +248,7 @@ def _worker_sweep(
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
     """None/1 -> serial; 0 -> all CPUs; N -> N workers."""
-    if jobs is None:
-        return 1
-    if jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0: {jobs}")
-    return jobs
+    return resolve_jobs(jobs)
 
 
 def _sweep_stores(
@@ -264,12 +258,23 @@ def _sweep_stores(
     window_after: int,
     jobs: Optional[int],
     chunk_days: int,
+    checkpoint_dir: Optional[str] = None,
+    report_sink: Optional[List[RunReport]] = None,
 ) -> Dict[int, Dict[int, np.ndarray]]:
     """Sweep several stores over the same reference days.
 
     Returns ``{store key: {day: gaps}}``.  With ``jobs`` workers, all
-    (store, chunk) tasks share one fork-based pool, so parallelism spans
-    both disjoint day ranges and prefix granularities.
+    (store, chunk) tasks share one supervised fork-based pool
+    (:func:`repro.runtime.pool.run_supervised`), so parallelism spans
+    both disjoint day ranges and prefix granularities while crashed or
+    wedged workers are retried and finally re-run serially.
+
+    With ``checkpoint_dir``, each completed chunk is persisted
+    atomically as it lands (in completion order) and valid chunks from
+    a previous identically-parameterized run are loaded instead of
+    recomputed — the kill-and-resume path.  Results are bit-identical
+    with or without checkpointing, resumption, ``jobs``, or
+    ``chunk_days``.
     """
     if window_before < 0 or window_after < 0:
         raise ValueError("window spans must be non-negative")
@@ -279,25 +284,55 @@ def _sweep_stores(
     if not ref_days:
         return gaps
     chunks = _plan_chunks(ref_days, chunk_days)
-    tasks = [
-        (key, chunk, window_before, window_after)
-        for key in stores
-        for chunk in chunks
-    ]
+    checkpoint: Optional[SweepCheckpoint] = None
+    if checkpoint_dir is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_dir,
+            sweep_signature(
+                stores, ref_days, window_before, window_after, chunk_days
+            ),
+        )
+    tasks: List[Tuple[int, Sequence[int], int, int]] = []
+    #: parallel to ``tasks``: the (store key, chunk index, chunk) behind each.
+    task_meta: List[Tuple[int, int, List[int]]] = []
+    for key in stores:
+        for chunk_index, chunk in enumerate(chunks):
+            if checkpoint is not None:
+                cached = checkpoint.load_chunk(key, chunk_index, chunk)
+                if cached is not None:
+                    gaps[key].update(cached)
+                    continue
+            tasks.append((key, chunk, window_before, window_after))
+            task_meta.append((key, chunk_index, chunk))
+    if not tasks:
+        # Fully resumed from checkpoints: report an empty run so callers
+        # can tell "nothing recomputed" from "no report collected".
+        if report_sink is not None:
+            report_sink.append(RunReport(label="sweep", tasks=0))
+        return gaps
     workers = min(_resolve_jobs(jobs), len(tasks))
-    if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
-        _WORKER_STORES.update(stores)
-        try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(workers) as pool:
-                outputs = pool.map(_worker_sweep, tasks)
-        finally:
-            _WORKER_STORES.clear()
-        for key, chunk_result in outputs:
-            gaps[key].update(chunk_result)
-    else:
-        for key, chunk, before, after in tasks:
-            gaps[key].update(_sweep_chunk(stores[key], chunk, before, after))
+
+    def on_result(
+        index: int, value: Tuple[int, List[Tuple[int, np.ndarray]]]
+    ) -> None:
+        key, chunk_result = value
+        gaps[key].update(chunk_result)
+        if checkpoint is not None:
+            _store_key, chunk_index, _chunk = task_meta[index]
+            checkpoint.save_chunk(key, chunk_index, chunk_result)
+
+    _WORKER_STORES.update(stores)
+    try:
+        _results, report = run_supervised(
+            _worker_sweep,
+            tasks,
+            PoolConfig(jobs=workers, label="sweep"),
+            on_result=on_result,
+        )
+    finally:
+        _WORKER_STORES.clear()
+    if report_sink is not None:
+        report_sink.append(report)
     return gaps
 
 
@@ -317,6 +352,8 @@ def sweep_days(
     window_after: int = DEFAULT_WINDOW_AFTER,
     jobs: Optional[int] = None,
     chunk_days: int = DEFAULT_CHUNK_DAYS,
+    checkpoint_dir: Optional[str] = None,
+    report_sink: Optional[List[RunReport]] = None,
 ) -> List[StabilityResult]:
     """Classify every requested day of the store in one rolling pass.
 
@@ -326,12 +363,23 @@ def sweep_days(
     day in the store; days absent from the store yield empty results.
 
     ``jobs`` fans chunks of ``chunk_days`` reference days out over
-    fork-based worker processes (``0`` = all CPUs, ``None``/``1`` =
-    serial); results are independent of ``jobs`` and ``chunk_days``.
+    supervised fork-based worker processes (``0`` = all CPUs,
+    ``None``/``1`` = serial); ``checkpoint_dir`` persists each completed
+    chunk atomically so a killed sweep resumes from its last checkpoint;
+    ``report_sink`` receives the pool's
+    :class:`repro.runtime.pool.RunReport`.  Results are independent of
+    ``jobs``, ``chunk_days``, checkpointing, and resumption.
     """
     ref_days = _normalized_days(observations, days)
     gaps = _sweep_stores(
-        {0: observations}, ref_days, window_before, window_after, jobs, chunk_days
+        {0: observations},
+        ref_days,
+        window_before,
+        window_after,
+        jobs,
+        chunk_days,
+        checkpoint_dir=checkpoint_dir,
+        report_sink=report_sink,
     )[0]
     return [
         StabilityResult(
@@ -352,21 +400,35 @@ def sweep_granularities(
     window_after: int = DEFAULT_WINDOW_AFTER,
     jobs: Optional[int] = None,
     chunk_days: int = DEFAULT_CHUNK_DAYS,
+    checkpoint_dir: Optional[str] = None,
+    report_sink: Optional[List[RunReport]] = None,
 ) -> Dict[int, List[StabilityResult]]:
     """Sweep several prefix granularities of one store at once.
 
     ``prefix_lens`` names the granularities (128 = full addresses; 64 =
     the paper's /64 prefixes; any length works).  All granularities'
-    chunks share one worker pool, so a two-granularity year sweep keeps
-    ``jobs`` workers busy throughout.  Returns ``{prefix_len: results}``
-    with each list equal to :func:`sweep_days` on the derived store.
+    chunks share one supervised worker pool, so a two-granularity year
+    sweep keeps ``jobs`` workers busy throughout.  Returns
+    ``{prefix_len: results}`` with each list equal to
+    :func:`sweep_days` on the derived store.  ``checkpoint_dir`` and
+    ``report_sink`` behave as in :func:`sweep_days`; checkpoint entries
+    are keyed per granularity.
     """
     stores = {
         int(p): observations if int(p) >= 128 else observations.truncated(int(p))
         for p in prefix_lens
     }
     ref_days = _normalized_days(observations, days)
-    gaps = _sweep_stores(stores, ref_days, window_before, window_after, jobs, chunk_days)
+    gaps = _sweep_stores(
+        stores,
+        ref_days,
+        window_before,
+        window_after,
+        jobs,
+        chunk_days,
+        checkpoint_dir=checkpoint_dir,
+        report_sink=report_sink,
+    )
     return {
         p: [
             StabilityResult(

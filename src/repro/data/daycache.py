@@ -36,6 +36,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.data import logfile
+from repro.runtime.quarantine import (
+    ERRORS_QUARANTINE,
+    ERRORS_STRICT,
+    QuarantineReport,
+    check_errors_mode,
+)
 
 #: Bump when the on-disk layout changes; mismatched entries are rebuilt.
 CACHE_VERSION = 1
@@ -86,27 +92,57 @@ def _atomic_save_array(path: str, array: np.ndarray) -> None:
 
 def _try_load(
     npy_path: str, meta_path: str, digest: str
-) -> Optional[Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]]:
-    """Load a cache entry; None when absent, stale, or unreadable."""
+) -> Tuple[
+    Optional[Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]],
+    Optional[str],
+]:
+    """Load a cache entry: ``(payload, corrupt_reason)``.
+
+    ``(payload, None)`` is a hit.  ``(None, None)`` is a clean miss
+    (entry absent or keyed to different content) — the ordinary cold
+    path.  ``(None, reason)`` means an entry *was* present for this
+    digest but failed verification (truncated payload, damaged meta,
+    wrong JSON types); the caller rebuilds it from the text source and,
+    in quarantine mode, records the recovery.
+
+    Verification is type-checked field by field rather than trusting
+    ``json.load``'s output shape: a meta file holding ``[1, 2]`` or
+    ``{"rows": "many"}`` is a *corrupt entry to rebuild*, not a
+    ``TypeError`` to crash the loader with.
+    """
     try:
         with open(meta_path, "r", encoding="utf-8") as handle:
             meta = json.load(handle)
-        if meta.get("version") != CACHE_VERSION or meta.get("sha256") != digest:
-            return None
+    except FileNotFoundError:
+        return None, None
+    except (OSError, ValueError, json.JSONDecodeError):
+        return None, "unreadable meta"
+    if not isinstance(meta, dict):
+        return None, f"meta is {type(meta).__name__}, not an object"
+    if meta.get("version") != CACHE_VERSION:
+        return None, None  # older layout: stale, not corrupt
+    if meta.get("sha256") != digest:
+        return None, None  # keyed to different content: clean miss
+    rows = meta.get("rows")
+    if not isinstance(rows, int) or isinstance(rows, bool) or rows < 0:
+        return None, f"meta rows field is {rows!r}"
+    day = meta.get("day")
+    if day is not None and (not isinstance(day, int) or isinstance(day, bool)):
+        return None, f"meta day field is {day!r}"
+    try:
         array = np.load(npy_path, mmap_mode="r", allow_pickle=False)
-        if array.dtype != CACHE_DTYPE or array.ndim != 1:
-            return None
-        if int(meta.get("rows", -1)) != array.shape[0]:
-            return None
-        day = meta.get("day")
-        return (
-            None if day is None else int(day),
-            array["hi"],
-            array["lo"],
-            array["hits"],
-        )
-    except (OSError, ValueError, KeyError, json.JSONDecodeError):
-        return None
+    except FileNotFoundError:
+        return None, "payload missing"
+    except (OSError, ValueError):
+        return None, "unreadable payload"
+    if array.dtype != CACHE_DTYPE or array.ndim != 1:
+        return None, f"payload dtype/shape mismatch ({array.dtype}, ndim={array.ndim})"
+    if rows != array.shape[0]:
+        return None, f"payload has {array.shape[0]} rows, meta says {rows}"
+    return (
+        (day, array["hi"], array["lo"], array["hits"]),
+        None,
+    )
 
 
 def store_day(
@@ -142,7 +178,10 @@ def store_day(
 
 
 def load_day(
-    path: str, cache_dir: str
+    path: str,
+    cache_dir: str,
+    errors: str = ERRORS_STRICT,
+    report: Optional[QuarantineReport] = None,
 ) -> Tuple[Optional[int], np.ndarray, np.ndarray, np.ndarray]:
     """Load one day log through the cache.
 
@@ -151,14 +190,38 @@ def load_day(
     parsed with the columnar fast path and the result is written back.
     Returns ``(day, hi, lo, hits)`` sorted, deduplicated, and summed —
     identical to :func:`repro.data.logfile.read_daily_log_arrays`.
+
+    With ``errors="quarantine"``: a corrupt cache entry is rebuilt and
+    recorded in ``report`` as an info record (recovered, no data loss);
+    malformed text lines divert into ``report`` per the logfile reader —
+    and a parse that quarantined any line is **not** written back to the
+    cache, so a later strict load of the same file can never be served
+    silently-cleaned columns from a cache hit.
     """
+    quarantine = check_errors_mode(errors) == ERRORS_QUARANTINE
+    if quarantine and report is None:
+        report = QuarantineReport()
     digest = content_hash(path)
     npy_path, meta_path = cache_paths(cache_dir, digest)
-    cached = _try_load(npy_path, meta_path, digest)
+    cached, corrupt_reason = _try_load(npy_path, meta_path, digest)
     if cached is not None:
         return cached
-    day, hi, lo, hits = logfile.read_daily_log_arrays(path)
-    store_day(cache_dir, digest, path, day, hi, lo, hits)
+    if quarantine and corrupt_reason is not None:
+        assert report is not None
+        report.info(npy_path, "cache-rebuilt", corrupt_reason)
+    faults_before = (
+        report.line_faults.get(path, 0) if quarantine and report is not None else 0
+    )
+    day, hi, lo, hits = logfile.read_daily_log_arrays(
+        path, errors=errors, report=report
+    )
+    dirty = (
+        quarantine
+        and report is not None
+        and report.line_faults.get(path, 0) > faults_before
+    )
+    if not dirty:
+        store_day(cache_dir, digest, path, day, hi, lo, hits)
     return day, hi, lo, hits
 
 

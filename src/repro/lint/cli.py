@@ -58,7 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Run the linter; returns the process exit code."""
+    """Run the linter; returns the classified process exit code.
+
+    0 = clean, 1 = findings, 2 = usage error, 3 = unreadable input,
+    5 = internal fault (see :mod:`repro.runtime.exitcodes`).
+    """
+    from repro.runtime.exitcodes import EXIT_INPUT, EXIT_INTERNAL
+
     try:
         return _run(argv)
     except BrokenPipeError:
@@ -66,9 +72,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         # closed pipe is the downstream consumer saying "enough".
         try:
             sys.stdout.close()
-        except Exception:
+        except Exception:  # repro-lint: ignore[R007]
             pass
         return 0
+    except SystemExit:
+        raise
+    except OSError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_INPUT
+    except Exception as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"repro-lint: internal fault: {exc!r}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 def _run(argv: Optional[List[str]]) -> int:

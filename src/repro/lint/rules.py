@@ -758,6 +758,100 @@ Python int).
         return findings
 
 
+# ---------------------------------------------------------------------------
+# R007 — swallowed faults: bare/blanket excepts that silence the
+# resilience layer.
+# ---------------------------------------------------------------------------
+
+_BLANKET_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+class SwallowedFaultRule(Rule):
+    """R007: bare ``except:`` or blanket ``except Exception: pass``."""
+
+    rule_id = "R007"
+    title = "bare or blanket except handler that swallows faults silently"
+    rationale = """\
+Invariant: no fault in this pipeline may vanish.  The resilience layer
+(:mod:`repro.runtime`) exists so every failure is *classified* — a
+quarantine record, a pool retry, a checkpoint resume, a nonzero exit
+code.  A bare ``except:`` (which also eats SystemExit and
+KeyboardInterrupt) or an ``except Exception: pass`` pre-empts all of
+that: the fault is gone, the output is silently wrong, and the
+operator pages nobody.
+
+Historical bug: a blanket handler around cache-meta parsing turned a
+half-written ``.meta.json`` into "cache always misses, silently" for
+weeks of warm runs — parsing faults must instead be *reported* (the
+quarantine's ``cache-rebuilt`` info records) so the rebuild rate is
+visible.  This rule pins that lesson: handle the exceptions you can
+name, and route the rest to the classifier.
+
+Fix: name the exception types the code can actually recover from
+(``except (OSError, ValueError):``), or re-raise / record the fault
+before continuing.  Narrow handlers with real recovery bodies are
+fine; so is a blanket handler that logs, reports, or re-raises.
+
+Suppress with ``# repro-lint: ignore[R007]`` only where swallowing is
+the contract — e.g. best-effort stdout cleanup in a BrokenPipeError
+path, where the process is already exiting.
+"""
+
+    def check(self, tree: ast.AST) -> List[RawFinding]:
+        findings: List[RawFinding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    RawFinding(
+                        node.lineno,
+                        node.col_offset,
+                        "bare 'except:' swallows every fault (including "
+                        "SystemExit); name the exceptions this code can "
+                        "recover from",
+                    )
+                )
+                continue
+            blanket = self._blanket_names(node.type)
+            if blanket and self._is_silent_body(node.body):
+                findings.append(
+                    RawFinding(
+                        node.lineno,
+                        node.col_offset,
+                        f"'except {'/'.join(sorted(blanket))}: pass' "
+                        "silences faults the resilience layer should "
+                        "classify; narrow the type or record the fault",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _blanket_names(type_node: ast.expr) -> List[str]:
+        """Blanket exception names caught by this handler's type."""
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        return [
+            _terminal_name(item)
+            for item in candidates
+            if _terminal_name(item) in _BLANKET_EXCEPTIONS
+        ]
+
+    @staticmethod
+    def _is_silent_body(body: List[ast.stmt]) -> bool:
+        """True when the handler does nothing observable with the fault."""
+        for statement in body:
+            if isinstance(statement, ast.Pass):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                continue  # docstring / Ellipsis placeholder
+            return False
+        return True
+
+
 #: Every rule, in id order.
 RULES: Tuple[Rule, ...] = (
     FloatThresholdRule(),
@@ -766,6 +860,7 @@ RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     ForkSafetyRule(),
     DtypeMixRule(),
+    SwallowedFaultRule(),
 )
 
 _RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

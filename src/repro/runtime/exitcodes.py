@@ -1,0 +1,59 @@
+"""Classified process exit codes shared by every repro CLI.
+
+A year-long measurement pipeline is driven by shell scripts and CI jobs
+that must distinguish "the input was bad" (fix the data and rerun) from
+"the pipeline itself faulted" (page someone) from "data loss exceeded
+the quarantine budget" (investigate before trusting any output).  One
+flat exit code 1 cannot carry that; these constants give every repro
+tool the same map:
+
+======  ==========================================================
+code    meaning
+======  ==========================================================
+0       success
+1       lint findings (``repro-lint`` only: the gate tripped)
+2       usage error (bad flags/arguments; argparse's convention)
+3       input error (unreadable/malformed logs, bad day data)
+4       quarantine threshold abort (too much data diverted)
+5       internal fault (worker pool failure, unexpected exception)
+======  ==========================================================
+
+:func:`classify_exception` maps an exception to its code so the CLI
+wrapper in :mod:`repro.cli` stays a one-liner per tool.
+"""
+
+from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_INPUT = 3
+EXIT_QUARANTINE = 4
+EXIT_INTERNAL = 5
+
+
+class InputError(ValueError):
+    """A problem with the user's inputs (files, day data, parameters).
+
+    Raised by CLI helpers instead of ``SystemExit`` so the classified
+    exit-code wrapper can map it to :data:`EXIT_INPUT` uniformly.
+    """
+
+
+def classify_exception(exc: BaseException) -> int:
+    """Map an exception to its classified exit code.
+
+    Import-light by design: the quarantine and pool exception types are
+    resolved lazily so this module can be imported from anywhere without
+    dragging the whole runtime layer in.
+    """
+    from repro.runtime.pool import PoolTaskError
+    from repro.runtime.quarantine import QuarantineThresholdError
+
+    if isinstance(exc, QuarantineThresholdError):
+        return EXIT_QUARANTINE
+    if isinstance(exc, PoolTaskError):
+        return EXIT_INTERNAL
+    if isinstance(exc, (InputError, ValueError, OSError)):
+        return EXIT_INPUT
+    return EXIT_INTERNAL

@@ -1,0 +1,244 @@
+"""Quarantine accounting for dirty daily inputs.
+
+The paper's pipeline ran for a year against operational CDN logs; real
+daily inputs arrive malformed, truncated, or missing.  A single bad log
+line must not abort a multi-month ``load_store`` — but silently dropping
+data is worse, because every downstream table would quietly shrink.
+The quarantine layer is the middle path: in ``errors="quarantine"``
+mode, readers divert each fault into a structured
+:class:`QuarantineReport` (file, line, rule, excerpt, count) and keep
+going, while :class:`QuarantinePolicy` thresholds bound how much loss
+is tolerated before the run aborts with a
+:class:`QuarantineThresholdError` — so data loss is always *bounded and
+reported*, never silent.
+
+Three fault granularities are tracked separately:
+
+* **line faults** — one log entry diverted (bad address, bad hit
+  count, wrong token count).  Counted against the per-day line budget.
+* **day faults** — a whole day lost (unreadable file, dropped file).
+  Counted against the per-run day budget.  The day becomes an explicit
+  gap: absent from the store, classified as such by the sweep engine.
+* **info records** — recovered faults with no data loss (a corrupt
+  cache entry rebuilt from its text source, a duplicate day replaced).
+  Reported but never counted against a budget.
+
+``errors="strict"`` (the default everywhere) bypasses this module
+entirely: readers raise on the first fault, bit-for-bit identical to
+the pre-quarantine behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: The two ingestion error modes.
+ERRORS_STRICT = "strict"
+ERRORS_QUARANTINE = "quarantine"
+
+#: Cap on stored excerpt records per (source, rule); counts stay exact.
+MAX_RECORDS_PER_RULE = 25
+
+#: Excerpts are truncated to this many characters.
+MAX_EXCERPT_CHARS = 80
+
+
+def check_errors_mode(errors: str) -> str:
+    """Validate an ``errors=`` argument; returns it normalized."""
+    if errors not in (ERRORS_STRICT, ERRORS_QUARANTINE):
+        raise ValueError(
+            f"errors must be {ERRORS_STRICT!r} or {ERRORS_QUARANTINE!r}: "
+            f"{errors!r}"
+        )
+    return errors
+
+
+def clip_excerpt(text: str) -> str:
+    """Truncate an excerpt for storage (full content never matters)."""
+    if len(text) <= MAX_EXCERPT_CHARS:
+        return text
+    return text[: MAX_EXCERPT_CHARS - 1] + "…"
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One quarantined fault: where, what rule tripped, and an excerpt."""
+
+    source: str
+    rule: str
+    line: Optional[int] = None
+    excerpt: str = ""
+    count: int = 1
+
+    def format(self) -> str:
+        """``source[:line]: rule excerpt`` — the canonical report line."""
+        location = self.source if self.line is None else f"{self.source}:{self.line}"
+        suffix = f" {self.excerpt!r}" if self.excerpt else ""
+        times = f" (x{self.count})" if self.count > 1 else ""
+        return f"{location}: {self.rule}{suffix}{times}"
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """Loss budgets: how much quarantine a run tolerates before aborting.
+
+    ``max_line_fraction`` bounds per-day loss: a day whose quarantined
+    entry-line fraction exceeds it aborts the run — but only once more
+    than ``line_grace`` lines are quarantined, so a three-line test file
+    with one typo is not fatal while a million-line day losing 1% is.
+    ``max_day_fraction``/``day_grace`` bound whole-day loss per run the
+    same way.
+    """
+
+    max_line_fraction: float = 0.01
+    line_grace: int = 8
+    max_day_fraction: float = 0.5
+    day_grace: int = 1
+
+
+class QuarantineThresholdError(RuntimeError):
+    """Quarantined loss exceeded the policy budget; the run must abort."""
+
+    def __init__(self, message: str, report: "Optional[QuarantineReport]" = None):
+        super().__init__(message)
+        self.report = report
+
+
+class QuarantineReport:
+    """Structured account of every fault diverted during a run.
+
+    Mergeable (worker processes each build a delta report that the
+    parent folds in) and cheap: per-(source, rule) excerpt records are
+    capped at :data:`MAX_RECORDS_PER_RULE` while counts stay exact.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[QuarantineRecord] = []
+        #: (source, rule) -> exact fault count (records may be capped).
+        self.counts: Dict[Tuple[str, str], int] = {}
+        #: source -> total entry lines seen (the per-day denominator).
+        self.line_totals: Dict[str, int] = {}
+        #: source -> entry lines quarantined.
+        self.line_faults: Dict[str, int] = {}
+        #: sources lost entirely (unreadable/dropped days).
+        self.day_faults: List[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def _record(
+        self, source: str, rule: str, line: Optional[int], excerpt: str, count: int
+    ) -> None:
+        key = (source, rule)
+        seen = self.counts.get(key, 0)
+        self.counts[key] = seen + count
+        if seen < MAX_RECORDS_PER_RULE:
+            self.records.append(
+                QuarantineRecord(source, rule, line, clip_excerpt(excerpt), count)
+            )
+
+    def line_fault(
+        self, source: str, line: int, rule: str, excerpt: str = ""
+    ) -> None:
+        """Record one quarantined log entry (counts against the day budget)."""
+        self._record(source, rule, line, excerpt, 1)
+        self.line_faults[source] = self.line_faults.get(source, 0) + 1
+
+    def day_fault(self, source: str, rule: str, excerpt: str = "") -> None:
+        """Record a whole day lost (counts against the run budget)."""
+        self._record(source, rule, None, excerpt, 1)
+        self.day_faults.append(source)
+
+    def info(self, source: str, rule: str, excerpt: str = "") -> None:
+        """Record a recovered fault (reported, never counted as loss)."""
+        self._record(source, rule, None, excerpt, 1)
+
+    def note_lines(self, source: str, total: int) -> None:
+        """Record a source's entry-line count (the threshold denominator)."""
+        self.line_totals[source] = self.line_totals.get(source, 0) + int(total)
+
+    def merge(self, other: "QuarantineReport") -> None:
+        """Fold a worker's delta report into this one."""
+        for record in other.records:
+            key = (record.source, record.rule)
+            if self.counts.get(key, 0) < MAX_RECORDS_PER_RULE:
+                self.records.append(record)
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+        for source, total in other.line_totals.items():
+            self.note_lines(source, total)
+        for source, count in other.line_faults.items():
+            self.line_faults[source] = self.line_faults.get(source, 0) + count
+        self.day_faults.extend(other.day_faults)
+
+    # -- interrogation -----------------------------------------------------
+
+    @property
+    def total_line_faults(self) -> int:
+        """Total quarantined entry lines across all sources."""
+        return sum(self.line_faults.values())
+
+    @property
+    def total_day_faults(self) -> int:
+        """Total whole days lost across the run."""
+        return len(self.day_faults)
+
+    def is_empty(self) -> bool:
+        """True when nothing at all was quarantined or noted as a fault."""
+        return not self.counts
+
+    def by_rule(self) -> Dict[str, int]:
+        """Fault counts aggregated per rule."""
+        totals: Dict[str, int] = {}
+        for (_source, rule), count in self.counts.items():
+            totals[rule] = totals.get(rule, 0) + count
+        return totals
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the quarantine."""
+        if self.is_empty():
+            return "quarantine: clean (no faults diverted)"
+        lines = [
+            "quarantine: "
+            f"{self.total_line_faults} line fault(s), "
+            f"{self.total_day_faults} day fault(s)"
+        ]
+        for rule, count in sorted(self.by_rule().items()):
+            lines.append(f"  {rule}: {count}")
+        for record in self.records[:20]:
+            lines.append(f"  - {record.format()}")
+        hidden = len(self.records) - 20
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more record(s)")
+        return "\n".join(lines)
+
+    # -- thresholds --------------------------------------------------------
+
+    def enforce_day(self, source: str, policy: QuarantinePolicy) -> None:
+        """Abort if a day's quarantined line fraction exceeds the budget."""
+        faults = self.line_faults.get(source, 0)
+        if faults <= policy.line_grace:
+            return
+        total = self.line_totals.get(source, 0)
+        denominator = max(total, 1)
+        fraction = faults / denominator
+        if fraction > policy.max_line_fraction:
+            raise QuarantineThresholdError(
+                f"{source}: {faults} of {total} entry lines quarantined "
+                f"({fraction:.1%} > {policy.max_line_fraction:.1%} budget)",
+                report=self,
+            )
+
+    def enforce_run(self, policy: QuarantinePolicy, total_days: int) -> None:
+        """Abort if too many whole days were lost across the run."""
+        lost = self.total_day_faults
+        if lost <= policy.day_grace:
+            return
+        fraction = lost / max(int(total_days), 1)
+        if fraction > policy.max_day_fraction:
+            raise QuarantineThresholdError(
+                f"{lost} of {total_days} days lost "
+                f"({fraction:.1%} > {policy.max_day_fraction:.1%} budget): "
+                + ", ".join(self.day_faults[:5]),
+                report=self,
+            )

@@ -79,8 +79,12 @@ class TestFailureHandling:
     def test_census_with_corrupt_log(self, tmp_path):
         path = tmp_path / "bad.txt"
         path.write_text("this is not a log line\n")
-        with pytest.raises(logfile.LogFormatError):
+        with pytest.raises(SystemExit) as info:
             main_census([str(path)])
+        # Malformed input exits with the classified input-error code.
+        from repro.runtime.exitcodes import EXIT_INPUT
+
+        assert info.value.code == EXIT_INPUT
 
     def test_stableprefix_empty_store(self, tmp_path, capsys):
         path = tmp_path / "empty.txt"

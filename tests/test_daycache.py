@@ -111,7 +111,8 @@ class TestInvalidation:
         meta["sha256"] = "0" * len(meta["sha256"])
         with open(meta_path, "w") as handle:
             json.dump(meta, handle)
-        assert daycache._try_load(_npy, meta_path, digest) is None
+        payload, reason = daycache._try_load(_npy, meta_path, digest)
+        assert payload is None and reason is None  # clean miss, not corruption
         # load_day still works by reparsing + rewriting.
         day, hi, _lo, _hits = daycache.load_day(log, cache)
         assert day == 7 and hi.shape == (100,)
@@ -145,7 +146,105 @@ class TestCorruption:
         daycache.load_day(log, cache)
         monkeypatch.setattr(daycache, "CACHE_VERSION", daycache.CACHE_VERSION + 1)
         digest = daycache.content_hash(log)
-        assert daycache._try_load(*daycache.cache_paths(cache, digest), digest) is None
+        payload, reason = daycache._try_load(
+            *daycache.cache_paths(cache, digest), digest
+        )
+        assert payload is None and reason is None  # stale layout, not corruption
+
+
+class TestMetaTypeRegression:
+    """Wrong-*type* meta entries must be a miss + rebuild, never a TypeError.
+
+    Regression for the historical bug where a ``.meta.json`` holding a
+    JSON list (or a field of the wrong type) crashed ``load_day`` with
+    a TypeError instead of being treated as corruption.
+    """
+
+    def _meta_path(self, log, cache):
+        digest = daycache.content_hash(log)
+        _npy, meta_path = daycache.cache_paths(cache, digest)
+        return meta_path
+
+    def _assert_rebuilds(self, log, cache):
+        from repro.runtime.quarantine import ERRORS_QUARANTINE, QuarantineReport
+
+        report = QuarantineReport()
+        day, hi, _lo, _hits = daycache.load_day(
+            log, cache, errors=ERRORS_QUARANTINE, report=report
+        )
+        assert day == 7 and hi.shape == (100,)
+        assert "cache-rebuilt" in report.by_rule()
+        # Strict mode rebuilds too (silently) — corruption is recoverable.
+        day, hi, _lo, _hits = daycache.load_day(log, cache)
+        assert day == 7 and hi.shape == (100,)
+
+    def test_meta_is_a_json_list(self, log_and_cache):
+        log, cache = log_and_cache
+        daycache.load_day(log, cache)
+        with open(self._meta_path(log, cache), "w") as handle:
+            json.dump(["not", "a", "dict"], handle)
+        self._assert_rebuilds(log, cache)
+
+    def test_rows_field_is_a_string(self, log_and_cache):
+        log, cache = log_and_cache
+        daycache.load_day(log, cache)
+        meta_path = self._meta_path(log, cache)
+        meta = json.load(open(meta_path))
+        meta["rows"] = "one hundred"
+        json.dump(meta, open(meta_path, "w"))
+        self._assert_rebuilds(log, cache)
+
+    def test_rows_field_is_a_bool(self, log_and_cache):
+        # bool is an int subclass; it must still be rejected, not used
+        # as a row count.
+        log, cache = log_and_cache
+        daycache.load_day(log, cache)
+        meta_path = self._meta_path(log, cache)
+        meta = json.load(open(meta_path))
+        meta["rows"] = True
+        json.dump(meta, open(meta_path, "w"))
+        self._assert_rebuilds(log, cache)
+
+    def test_day_field_is_a_dict(self, log_and_cache):
+        log, cache = log_and_cache
+        daycache.load_day(log, cache)
+        meta_path = self._meta_path(log, cache)
+        meta = json.load(open(meta_path))
+        meta["day"] = {"value": 7}
+        json.dump(meta, open(meta_path, "w"))
+        self._assert_rebuilds(log, cache)
+
+
+class TestQuarantineInteraction:
+    def test_dirty_parse_is_never_cached(self, tmp_path):
+        # A quarantined (cleaned) parse must not be written to the
+        # cache: a later *strict* load of the same bytes must parse the
+        # text again and raise, not get cleaned arrays from a hit.
+        from repro.runtime.quarantine import ERRORS_QUARANTINE, QuarantineReport
+
+        log = str(tmp_path / "day.txt")
+        cache = str(tmp_path / "cache")
+        with open(log, "w", encoding="ascii") as handle:
+            handle.write("# repro aggregated log day=7\n")
+            handle.write("2001:db8::1 3\n")
+            handle.write("not-an-address 5\n")
+        report = QuarantineReport()
+        day, hi, _lo, _hits = daycache.load_day(
+            log, cache, errors=ERRORS_QUARANTINE, report=report
+        )
+        assert day == 7 and hi.shape == (1,)
+        assert report.total_line_faults == 1
+        with pytest.raises(logfile.LogFormatError):
+            daycache.load_day(log, cache)
+
+    def test_clean_parse_is_cached_in_quarantine_mode(self, log_and_cache):
+        from repro.runtime.quarantine import ERRORS_QUARANTINE, QuarantineReport
+
+        log, cache = log_and_cache
+        daycache.load_day(log, cache, errors=ERRORS_QUARANTINE, report=QuarantineReport())
+        digest = daycache.content_hash(log)
+        npy_path, meta_path = daycache.cache_paths(cache, digest)
+        assert os.path.exists(npy_path) and os.path.exists(meta_path)
 
 
 class TestPrune:

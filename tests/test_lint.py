@@ -222,6 +222,93 @@ class TestR006DtypeMix:
         assert ids("offset = cursor >> 24\n") == []
 
 
+class TestR007SwallowedFault:
+    def test_bare_except_trips(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except:
+                    pass
+        """
+        assert ids(source) == ["R007"]
+
+    def test_bare_except_trips_even_with_real_body(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except:
+                    log("failed")
+        """
+        assert ids(source) == ["R007"]
+
+    def test_blanket_exception_pass_trips(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except Exception:
+                    pass
+        """
+        assert ids(source) == ["R007"]
+
+    def test_blanket_in_tuple_with_ellipsis_body_trips(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except (ValueError, BaseException):
+                    ...
+        """
+        assert ids(source) == ["R007"]
+
+    def test_blanket_with_reraise_passes(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except Exception:
+                    raise
+        """
+        assert ids(source) == []
+
+    def test_blanket_with_recovery_body_passes(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except BaseException:
+                    report("fault")
+        """
+        assert ids(source) == []
+
+    def test_narrow_except_pass_passes(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except OSError:
+                    pass
+        """
+        assert ids(source) == []
+
+    def test_inline_ignore_suppresses(self):
+        source = """
+            def cleanup():
+                try:
+                    work()
+                except Exception:  # repro-lint: ignore[R007]
+                    pass
+        """
+        assert ids(source) == []
+
+    def test_explain_has_rationale(self, capsys):
+        assert main(["--explain", "R007"]) == 0
+        out = capsys.readouterr().out
+        assert "Invariant:" in out and "quarantine" in out
+
+
 class TestSuppression:
     def test_inline_ignore_suppresses_the_rule(self):
         assert ids("m = lo >> 24  # repro-lint: ignore[R006]\n") == []
